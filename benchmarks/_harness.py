@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks (E1..E12).
+
+Every benchmark both *measures* (wall time via pytest-benchmark, mesh
+steps via the simulators) and *checks the paper's shape claim* with
+assertions, then prints the regenerated table.  `run_once` wraps the
+payload so pytest-benchmark's timing loop does not re-execute expensive
+simulations more than requested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.util import format_table
+
+__all__ = ["run_once", "report"]
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Benchmark ``fn`` with a single round (payloads are deterministic
+    simulations; repeated rounds only add wall-clock)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def report(benchmark, title: str, headers, rows) -> None:
+    """Print the regenerated table and attach it to the benchmark JSON."""
+    table = format_table(headers, rows, title=title)
+    print("\n" + table)
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,39 @@
+"""E2 — Lemma 1: the strong expansion property of the BIBD.
+
+For lines S through a fixed point with k fixed edges each (including the
+edge to the point), the reached point set has size exactly
+``(k - 1)|S| + 1`` — no collisions, ever.  The table sweeps q, |S| and k
+and reports measured vs predicted set sizes.
+"""
+
+from _harness import report, run_once
+
+from repro.bibd import AffineBIBD, verify_strong_expansion
+
+CASES = [(3, 2), (3, 3), (5, 2), (9, 2)]
+
+
+def _sweep():
+    rows = []
+    for q, d in CASES:
+        design = AffineBIBD(q, d)
+        degree = design.output_degree
+        for subset in {2, degree // 2, degree}:
+            if subset < 1:
+                continue
+            for k in range(1, q + 1):
+                size = verify_strong_expansion(design, 0, subset, k, seed=subset * k)
+                expected = (k - 1) * subset + 1
+                assert size == expected
+                rows.append([q, d, subset, k, size, expected])
+    return rows
+
+
+def test_e02_strong_expansion(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        "E2 (Lemma 1): |Gamma_k(S)| = (k-1)|S| + 1 exactly",
+        ["q", "d", "|S|", "k", "measured", "predicted"],
+        rows,
+    )

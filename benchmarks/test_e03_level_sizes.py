@@ -1,0 +1,40 @@
+"""E3 — Eq. (1): module counts track |U_i| = c n^{alpha/2^i}, c in [q/2, q^3].
+
+Sweeps n and alpha, derives the HMOS level structure and reports the
+measured constant c at every level — it must stay inside the paper's
+band even though d_1 is chosen by rounding the memory size up to the
+next constructible value.
+"""
+
+from _harness import report, run_once
+
+from repro.hmos import HMOSParams
+
+NS = [256, 1024, 4096, 16384, 65536]
+ALPHAS = [1.25, 1.5, 1.75, 2.0]
+
+
+def _sweep():
+    rows = []
+    for n in NS:
+        for alpha in ALPHAS:
+            k = 2
+            try:
+                params = HMOSParams(n=n, alpha=alpha, q=3, k=k)
+            except ValueError:
+                continue
+            for i in range(1, k + 1):
+                c = params.m[i] / n ** (alpha / 2**i)
+                rows.append([n, alpha, i, params.m[i], f"{c:.2f}"])
+                assert params.q / 2 <= c <= params.q**3, (n, alpha, i, c)
+    return rows
+
+
+def test_e03_level_sizes(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        "E3 (Eq. 1): |U_i| = c n^(alpha/2^i) with c in [1.5, 27] for q=3",
+        ["n", "alpha", "level i", "|U_i|", "c"],
+        rows,
+    )

@@ -1,0 +1,43 @@
+"""E5 — Eq. (2): CULLING runs in ``O(k q^k sqrt(n))`` mesh steps.
+
+The table sweeps n and reports the charged mesh steps (whose scaling
+must fit ~n^0.5 exactly) alongside the measured wall-clock of the
+vectorized implementation (which is what pytest-benchmark times).
+"""
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.analysis import fit_power_law
+from repro.culling import cull
+from repro.hmos import HMOS
+
+NS = [256, 1024, 4096, 16384]
+
+
+def _sweep():
+    rows = []
+    charged = []
+    for n in NS:
+        scheme = HMOS(n=n, alpha=1.5, q=3, k=2)
+        variables = np.unique(
+            (np.arange(n, dtype=np.int64) * 7919) % scheme.num_variables
+        )[:n]
+        result = cull(scheme, variables)
+        charged.append(result.charged_steps)
+        rows.append([n, f"{result.charged_steps:.0f}", result.total_selected])
+    fit = fit_power_law(np.array(NS, float), np.array(charged))
+    rows.append(["fit exp", f"{fit.exponent:.3f}", "(claim: 0.5)"])
+    # The charge is exactly k (q^k sqrt(n) + q^k): exponent ~0.5.
+    assert abs(fit.exponent - 0.5) < 0.02
+    return rows
+
+
+def test_e05_culling_time(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        "E5 (Eq. 2): CULLING charged steps ~ k q^k sqrt(n)",
+        ["n", "charged steps", "selected copies"],
+        rows,
+    )

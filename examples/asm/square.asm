@@ -1,0 +1,5 @@
+# Each processor squares its pid into MEM[pid].
+# Run: python -m repro run examples/asm/square.asm --n 64 --dump 8
+mul r1, pid, pid
+store pid, r1
+halt

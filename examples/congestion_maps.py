@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Visualizing routing congestion: why the staged protocol spreads load.
+
+Routes the same adversarial request set twice — naively (every packet
+straight to its copy) and through the HMOS access protocol's first
+stage — and renders each run's per-node traffic as an ASCII heatmap.
+The naive map shows the hot region the module-collision adversary
+creates; the protocol's spread phase flattens it.
+
+Run:  python examples/congestion_maps.py
+"""
+
+import numpy as np
+
+from repro import HMOS, AccessProtocol
+from repro.culling import cull
+from repro.mesh import PacketBatch, SynchronousEngine, load_heatmap
+
+
+def main() -> None:
+    scheme = HMOS(n=1024, alpha=1.5, q=3, k=2)
+    mesh = scheme.mesh
+    engine = SynchronousEngine(mesh)
+
+    from repro.hmos import module_collision_requests
+
+    variables = module_collision_requests(scheme, 1024)
+    result = cull(scheme, variables)
+    rows, paths = np.nonzero(result.selected)
+    copy_nodes = scheme.copy_nodes(variables[rows], paths)
+
+    # Naive: every packet straight from its requester to the copy.
+    naive = engine.route(PacketBatch(rows.astype(np.int64), copy_nodes))
+    print(load_heatmap(
+        mesh, naive.node_traffic,
+        title=f"naive direct routing: {naive.steps} steps",
+    ))
+    print()
+
+    # The protocol's staged journey (cycle-accurate).
+    proto = AccessProtocol(scheme, engine="cycle")
+    res = proto.read(variables)
+    # Reconstruct stage k+1 spread targets for the map: route origins ->
+    # final copies via the staged path is internal; approximate the
+    # flattening by mapping the *culled* selection after level-k spread.
+    keys = scheme.page_keys(scheme.params.k, variables[rows], paths)
+    from repro.util import rank_within_groups
+
+    first, last = scheme.placement.page_node_spans(
+        scheme.params.k, variables[rows], paths
+    )
+    rank = rank_within_groups(keys)
+    spread_nodes = mesh.node_of_rank(first + rank % (last - first + 1))
+    staged_leg = engine.route(PacketBatch(rows.astype(np.int64), spread_nodes))
+    print(load_heatmap(
+        mesh, staged_leg.node_traffic,
+        title=f"protocol stage k+1 (spread into level-k submeshes): "
+        f"{staged_leg.steps} steps of {res.protocol_steps:.0f} total",
+    ))
+    print()
+    print("The adversary aims every request at one level-1 module (top-left")
+    print("corner under the naive map); the protocol's rank-based spreading")
+    print("hands each submesh its packets evenly before descending, which is")
+    print("what keeps every stage's (l1, l2)-routing cheap (Theorem 3 + Eq. 5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Run classical PRAM algorithms on the simulated mesh.
+
+Each algorithm is written once against the PRAM step API and executed on
+two backends: the ideal unit-cost shared memory (the specification) and
+the full mesh simulation (HMOS + CULLING + access protocol).  The table
+reports PRAM steps, the simulation's mesh-step cost, and the effective
+slowdown per step — the quantity Theorem 1 bounds by ~n^(1/2 + ...).
+
+Run:  python examples/pram_algorithms.py
+"""
+
+import numpy as np
+
+from repro import HMOS
+from repro.pram import IdealBackend, MeshBackend, PRAMMachine
+from repro.pram.algorithms import (
+    list_ranking,
+    matvec,
+    odd_even_sort,
+    prefix_sum,
+    reduce_max,
+)
+from repro.util import format_table
+
+
+def fresh_machines():
+    scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+    mesh = PRAMMachine(MeshBackend(scheme, engine="model"), 64)
+    ideal = PRAMMachine(IdealBackend(scheme.num_variables), 64)
+    return mesh, ideal
+
+
+def run_case(name, fn, check):
+    mesh, ideal = fresh_machines()
+    got_mesh = fn(mesh)
+    got_ideal = fn(ideal)
+    ok = check(got_mesh) and check(got_ideal)
+    assert np.array_equal(np.asarray(got_mesh), np.asarray(got_ideal))
+    slowdown = mesh.cost / mesh.pram_steps
+    return [name, mesh.pram_steps, f"{mesh.cost:.0f}", f"{slowdown:.1f}",
+            "ok" if ok else "MISMATCH"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 100, 32)
+    order = rng.permutation(48).tolist()
+    successor = np.empty(48, dtype=np.int64)
+    for pos in range(47):
+        successor[order[pos]] = order[pos + 1]
+    successor[order[-1]] = order[-1]
+    A = rng.integers(-9, 10, (16, 12))
+    x = rng.integers(-9, 10, 12)
+
+    rows = [
+        run_case(
+            "prefix_sum(32)",
+            lambda m: prefix_sum(m, data),
+            lambda got: np.array_equal(got, np.cumsum(data)),
+        ),
+        run_case(
+            "reduce_max(32)",
+            lambda m: reduce_max(m, data),
+            lambda got: got == data.max(),
+        ),
+        run_case(
+            "list_ranking(48)",
+            lambda m: list_ranking(m, successor),
+            lambda got: got[order[0]] == 47,
+        ),
+        run_case(
+            "matvec(16x12)",
+            lambda m: matvec(m, A, x),
+            lambda got: np.array_equal(got, A @ x),
+        ),
+        run_case(
+            "odd_even_sort(32)",
+            lambda m: odd_even_sort(m, data),
+            lambda got: np.array_equal(got, np.sort(data)),
+        ),
+    ]
+    print(format_table(
+        ["algorithm", "PRAM steps", "mesh steps", "slowdown/step", "verified"],
+        rows,
+        title="PRAM algorithms on a 8x8 mesh (n=64, alpha=1.5, q=3, k=2)",
+    ))
+    print()
+    print("Every algorithm produced identical results on the ideal PRAM")
+    print("and on the mesh simulation — the backends are interchangeable.")
+
+
+if __name__ == "__main__":
+    main()

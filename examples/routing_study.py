@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Section 2 routing study: direct (l1,l2)-routing vs the 4-step
+(l1, l2, delta, m)-routing through destination submeshes.
+
+The paper's comparison is between *worst-case bounds*:
+
+    direct:  sqrt(l1 l2 n) + O(l1 sqrt(n))                 (Theorem 2)
+    staged:  O(sqrt(delta) (sqrt(l1 n) + sqrt(l2 m)))      (Section 2)
+
+profitable when l1, delta in o(l2) and sqrt(delta m) in o(sqrt(l1 n)).
+This script shows (a) the analytic crossover as the skew l2/delta grows,
+and (b) cycle-accurate measurements of both algorithms on skewed
+instances.  Note on (b): a greedy farthest-first router already handles
+single-hot-spot instances near-optimally — the measured staged advantage
+shows up in the *routing phases* (spread + deliver), while its fixed
+sorting charge amortizes only at scale; the bounds comparison is the
+paper's own claim.
+
+Run:  python examples/routing_study.py
+"""
+
+import numpy as np
+
+from repro.mesh import (
+    CostModel,
+    Mesh,
+    PacketBatch,
+    Tessellation,
+    route_direct,
+    route_via_submeshes,
+)
+from repro.util import format_table
+
+
+def analytic_table() -> None:
+    """The paper's own comparison: bound vs bound at large n."""
+    model = CostModel()
+    n = 2**20
+    m = 2**10  # submesh size
+    l1 = 1
+    rows = []
+    for skew in (1, 4, 16, 64, 256, 1024):
+        l2 = skew * 32
+        delta = max(l1, l2 // (n // m // 8))  # receivers spread over submeshes
+        direct = model.route_steps(l1, l2, n)
+        staged = model.submesh_route_steps(l1, l2, delta, n, m)
+        rows.append(
+            [l2, delta, f"{direct:.0f}", f"{staged:.0f}",
+             "staged" if staged < direct else "direct"]
+        )
+    print(format_table(
+        ["l2", "delta", "direct bound", "staged bound", "winner"],
+        rows,
+        title=f"Worst-case bounds, n={n}, submeshes of m={m}, l1={l1}",
+    ))
+
+
+def measured_table() -> None:
+    mesh = Mesh(16)  # n = 256
+    tess = Tessellation.uniform(mesh.n, 16)
+    rng = np.random.default_rng(0)
+    rows = []
+    for hot in (2, 4, 8, 16, 64):
+        src = np.arange(mesh.n, dtype=np.int64)
+        stride = mesh.n // hot
+        hot_nodes = mesh.node_of_rank(np.arange(hot, dtype=np.int64) * stride)
+        dst = np.repeat(hot_nodes, mesh.n // hot)
+        rng.shuffle(dst)
+        batch = PacketBatch(src, dst)
+        direct = route_direct(mesh, batch)
+        staged = route_via_submeshes(mesh, batch, tess)
+        moves = staged.spread_steps + staged.deliver_steps
+        rows.append(
+            [hot, batch.max_per_destination(), direct.steps,
+             moves, staged.sort_steps, staged.steps]
+        )
+    print(format_table(
+        ["hot nodes", "l2", "direct steps", "staged moves", "+sort charge", "staged total"],
+        rows,
+        title="Measured on a 16x16 mesh, one packet per node",
+    ))
+
+
+def main() -> None:
+    analytic_table()
+    print()
+    measured_table()
+    print()
+    print("Bounds: the staged route wins once receivers are hot (l2 >> delta),")
+    print("by up to ~sqrt(l2/delta) — the paper's Section 2 claim.  Measured:")
+    print("on these instances a farthest-first greedy router is already near")
+    print("its serialization floor (~l2/4 steps into each hot node), so the")
+    print("two algorithms' movement phases track each other; the staged bound")
+    print("is about instances adversarial to direct routing, and its fixed")
+    print("sorting charge amortizes only beyond this demo size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Constructive deterministic PRAM simulation on a mesh-connected computer.
+
+A full reproduction of Pietracaprina, Pucci & Sibeyn (ICSI TR-93-059 /
+SPAA 1994): the Hierarchical Memory Organization Scheme (HMOS) built on
+explicitly-constructed BIBDs, procedure CULLING, the k+1-stage access
+protocol, and a synchronous mesh machine to run it all on — plus the
+baselines ([MV84], [UW87], universal hashing) the paper positions itself
+against.
+
+Quick start::
+
+    import numpy as np
+    from repro import HMOS, AccessProtocol
+
+    scheme = HMOS(n=256, alpha=1.5, q=3, k=2)
+    proto = AccessProtocol(scheme, engine="cycle")
+    proto.write(np.arange(256), np.arange(256) * 2, timestamp=1)
+    result = proto.read(np.arange(256))
+    assert (result.values == np.arange(256) * 2).all()
+    print(f"one PRAM step simulated in {result.total_steps:.0f} mesh steps")
+
+Subpackages
+-----------
+``repro.ff``        finite fields GF(p^m)
+``repro.bibd``      explicit (q^d, q)-BIBDs and balanced subgraphs
+``repro.mesh``      the mesh machine: routing, sorting, cost models
+``repro.hmos``      the memory organization scheme (paper Section 3.1)
+``repro.culling``   copy selection (Section 3.2)
+``repro.protocol``  the access protocol (Section 3.3)
+``repro.pram``      PRAM machine + algorithm library
+``repro.baselines`` competing schemes for the comparison experiments
+``repro.analysis``  closed-form bounds, parameter choice, fitting
+"""
+
+from repro.analysis import (
+    choose_parameters,
+    fit_power_law,
+    simulation_time_bound,
+    theorem1_exponent,
+)
+from repro.bibd import AffineBIBD, BalancedSubgraph
+from repro.culling import cull
+from repro.hmos import HMOS, HMOSParams
+from repro.mesh import Mesh, PacketBatch, SynchronousEngine
+from repro.pram import IdealBackend, MeshBackend, PRAMMachine
+from repro.protocol import AccessProtocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessProtocol",
+    "AffineBIBD",
+    "BalancedSubgraph",
+    "HMOS",
+    "HMOSParams",
+    "IdealBackend",
+    "Mesh",
+    "MeshBackend",
+    "PRAMMachine",
+    "PacketBatch",
+    "SynchronousEngine",
+    "choose_parameters",
+    "cull",
+    "fit_power_law",
+    "simulation_time_bound",
+    "theorem1_exponent",
+    "__version__",
+]

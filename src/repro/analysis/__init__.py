@@ -1,0 +1,39 @@
+"""Closed-form predictions, parameter choice and scaling-law fitting.
+
+Implements the paper's arithmetic so experiments can compare measured
+step counts against the claims:
+
+* :mod:`repro.analysis.bounds` — Eqs. (4)-(8): submesh sizes, per-stage
+  loads and times, ``T_protocol`` and ``T_sim``.
+* :mod:`repro.analysis.parameters` — the Theorem 4 proof's choices of
+  ``(q, k)`` per alpha regime, including the polylog-redundancy variant.
+* :mod:`repro.analysis.fitting` — log-log power-law fits used to extract
+  measured exponents from scaling sweeps.
+"""
+
+from repro.analysis.calibration import CalibrationReport, calibrate_cost_model
+from repro.analysis.bounds import (
+    delta_bound,
+    protocol_time_bound,
+    simulation_time_bound,
+    stage_time_bounds,
+    submesh_size,
+    theorem1_exponent,
+)
+from repro.analysis.fitting import PowerLawFit, fit_power_law
+from repro.analysis.parameters import choose_parameters, polylog_parameters
+
+__all__ = [
+    "CalibrationReport",
+    "PowerLawFit",
+    "calibrate_cost_model",
+    "choose_parameters",
+    "delta_bound",
+    "fit_power_law",
+    "polylog_parameters",
+    "protocol_time_bound",
+    "simulation_time_bound",
+    "stage_time_bounds",
+    "submesh_size",
+    "theorem1_exponent",
+]

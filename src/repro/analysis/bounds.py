@@ -1,0 +1,95 @@
+"""The paper's closed-form cost arithmetic (Eqs. 4-8, Theorem 1).
+
+All functions evaluate the O(.) expressions with constant 1; experiments
+use them for *shape* comparison (exponent, crossover) against measured
+step counts, exactly as DESIGN.md prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "submesh_size",
+    "delta_bound",
+    "stage_time_bounds",
+    "protocol_time_bound",
+    "simulation_time_bound",
+    "theorem1_exponent",
+]
+
+
+def _check(n: int, alpha: float, q: int, k: int) -> None:
+    if n < 4:
+        raise ValueError("n must be >= 4")
+    if not 1.0 < alpha <= 2.0:
+        raise ValueError(f"alpha must be in (1, 2], got {alpha}")
+    if q < 3 or k < 1:
+        raise ValueError("need q >= 3 and k >= 1")
+
+
+def submesh_size(n: int, alpha: float, q: int, k: int, level: int) -> float:
+    """Eq. (4): nodes per level-``level`` submesh,
+    ``t_i = q^{-(k-i)} n^{1 - alpha/2^i}``."""
+    _check(n, alpha, q, k)
+    if not 1 <= level <= k:
+        raise ValueError(f"level must be in [1, {k}]")
+    return q ** (-(k - level)) * n ** (1 - alpha / 2**level)
+
+
+def delta_bound(n: int, alpha: float, q: int, k: int, level: int) -> float:
+    """Eq. (5): max packets per node at the start of stage ``level``,
+    ``delta_i = q^{2k - i} n^{(alpha - 1)/2^i}`` (``delta_{k+1} = q^k``)."""
+    _check(n, alpha, q, k)
+    if level == k + 1:
+        return float(q**k)
+    if not 1 <= level <= k:
+        raise ValueError(f"level must be in [1, {k + 1}]")
+    return q ** (2 * k - level) * n ** ((alpha - 1) / 2**level)
+
+
+def stage_time_bounds(n: int, alpha: float, q: int, k: int) -> dict[int, float]:
+    """The per-stage bounds below Eq. (6).
+
+    Returns ``{stage: steps}`` for stages ``k+1 .. 1``::
+
+        T_{k+1} = q^k n^{1/2 + (alpha-1)/2^{k+1}}
+        T_i     = q^{(3k - i + 1)/2} n^{1/2 + (2 alpha - 3)/2^{i+1}},  k >= i >= 2
+        T_1     = q^k n^{1/2}
+    """
+    _check(n, alpha, q, k)
+    out = {k + 1: q**k * n ** (0.5 + (alpha - 1) / 2 ** (k + 1))}
+    for i in range(k, 1, -1):
+        out[i] = q ** ((3 * k - i + 1) / 2) * n ** (0.5 + (2 * alpha - 3) / 2 ** (i + 1))
+    out[1] = q**k * n**0.5
+    return out
+
+
+def protocol_time_bound(n: int, alpha: float, q: int, k: int) -> float:
+    """Eq. (7): ``T_protocol`` as the sum of the stage bounds."""
+    return sum(stage_time_bounds(n, alpha, q, k).values())
+
+
+def simulation_time_bound(n: int, alpha: float, q: int, k: int) -> float:
+    """Eq. (8): ``T_sim = T_culling + T_protocol`` with
+    ``T_culling = k q^k sqrt(n)``."""
+    _check(n, alpha, q, k)
+    return k * q**k * math.sqrt(n) + protocol_time_bound(n, alpha, q, k)
+
+
+def theorem1_exponent(alpha: float, *, epsilon: float = 0.05) -> float:
+    """The exponent of ``T(n)`` claimed by Theorem 1 (constant redundancy).
+
+    * ``alpha <= 3/2``  ->  ``1/2 + epsilon`` (any 0 < eps < 1)
+    * ``3/2 <= alpha <= 5/3``  ->  ``1/2 + (alpha - 1)/16``
+    * ``5/3 <= alpha <= 2``  ->  ``1/2 + (2 alpha - 3)/8``
+    """
+    if not 1.0 < alpha <= 2.0:
+        raise ValueError(f"alpha must be in (1, 2], got {alpha}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if alpha <= 1.5:
+        return 0.5 + epsilon
+    if alpha <= 5.0 / 3.0:
+        return 0.5 + (alpha - 1) / 16
+    return 0.5 + (2 * alpha - 3) / 8

@@ -1,0 +1,116 @@
+"""Calibrating the analytic cost model against the cycle-accurate engine.
+
+The model engine charges phases with Theorem 2's closed form; before
+trusting it on meshes too large to simulate packet-by-packet, its
+constants are fitted so the charge *upper-bounds* the measured step
+counts of the cycle-accurate engine on a family of ``(l1, l2)``
+instances (and the sorting constant matches the measured shearsort
+cost).  Experiment E6 reports the resulting constants; passing
+``calibrate_cost_model()`` to :class:`repro.protocol.AccessProtocol`
+makes the large-n sweeps conservative rather than optimistic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.costmodel import CostModel
+from repro.mesh.engine import SynchronousEngine
+from repro.mesh.packets import PacketBatch
+from repro.mesh.sorting import shearsort_steps
+from repro.mesh.topology import Mesh
+
+__all__ = ["CalibrationReport", "calibrate_cost_model"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Fitted constants plus the evidence they came from."""
+
+    model: CostModel
+    samples: int
+    max_route_ratio: float  # measured / model with fitted constants
+    max_sort_ratio: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostModel(c_sort={self.model.c_sort:.2f}, "
+            f"c_route={self.model.c_route:.2f}) from {self.samples} samples; "
+            f"worst ratios route={self.max_route_ratio:.2f}, "
+            f"sort={self.max_sort_ratio:.2f}"
+        )
+
+
+def _instances(mesh: Mesh, seed: int):
+    """A spread of (l1, l2) regimes: uniform, skewed, hot-spot."""
+    rng = np.random.default_rng(seed)
+    n = mesh.n
+    out = []
+    # Uniform permutation.
+    out.append(PacketBatch(np.arange(n), rng.permutation(n)))
+    # Hot receivers at several skews.
+    for receivers in (max(1, n // 64), max(1, n // 16), max(1, n // 4)):
+        pool = mesh.node_of_rank(
+            np.linspace(0, n - 1, receivers).astype(np.int64)
+        )
+        dst = np.tile(pool, -(-n // receivers))[:n]
+        rng.shuffle(dst)
+        out.append(PacketBatch(np.arange(n), dst))
+    # Multiple packets per source.
+    for l1 in (2, 4):
+        src = np.repeat(np.arange(n), l1)
+        dst = rng.integers(0, n, n * l1)
+        out.append(PacketBatch(src, dst))
+    return out
+
+
+def calibrate_cost_model(
+    sides: tuple[int, ...] = (8, 16, 32), *, seed: int = 0
+) -> CalibrationReport:
+    """Fit ``(c_sort, c_route)`` so the model upper-bounds measurements.
+
+    ``c_route`` is the smallest constant making
+    ``sqrt(l1 l2 n) + c_route l1 sqrt(n)`` >= measured steps on every
+    sampled instance; ``c_sort`` makes ``c_sort l1 sqrt(n)`` >= the
+    measured shearsort step count.
+    """
+    c_route = 0.0
+    samples = 0
+    for side in sides:
+        mesh = Mesh(side)
+        engine = SynchronousEngine(mesh)
+        for batch in _instances(mesh, seed + side):
+            measured = engine.route(batch).steps
+            l1 = batch.max_per_source()
+            l2 = batch.max_per_destination()
+            base = math.sqrt(l1 * l2 * mesh.n)
+            slack = (measured - base) / (max(l1, 1) * math.sqrt(mesh.n))
+            c_route = max(c_route, slack)
+            samples += 1
+    c_route = max(c_route, 0.1)
+    c_sort = max(shearsort_steps(side) / math.sqrt(side * side) for side in sides)
+    model = CostModel(c_sort=c_sort, c_route=c_route)
+
+    # Verify the fit: with these constants no sample exceeds the charge.
+    max_route_ratio = 0.0
+    for side in sides:
+        mesh = Mesh(side)
+        engine = SynchronousEngine(mesh)
+        for batch in _instances(mesh, seed + side):
+            measured = engine.route(batch).steps
+            charge = model.route_steps(
+                batch.max_per_source(), batch.max_per_destination(), mesh.n
+            )
+            max_route_ratio = max(max_route_ratio, measured / charge)
+    max_sort_ratio = max(
+        shearsort_steps(side) / model.sort_steps(1, side * side) for side in sides
+    )
+    return CalibrationReport(
+        model=model,
+        samples=samples,
+        max_route_ratio=max_route_ratio,
+        max_sort_ratio=max_sort_ratio,
+    )

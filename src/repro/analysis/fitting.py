@@ -1,0 +1,52 @@
+"""Power-law fitting for scaling experiments.
+
+A scaling sweep yields ``(n, steps)`` pairs; the measured exponent is
+the slope of the least-squares line in log-log space.  Experiments
+compare it against the Theorem 1 exponents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``steps ~ coefficient * n^exponent`` with goodness of fit."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n) -> np.ndarray:
+        return self.coefficient * np.asarray(n, dtype=float) ** self.exponent
+
+
+def fit_power_law(ns, values) -> PowerLawFit:
+    """Least-squares fit of ``values ~ c * ns^e`` in log-log space.
+
+    Requires at least two distinct positive sizes and positive values.
+    """
+    ns = np.asarray(ns, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if ns.shape != values.shape or ns.ndim != 1:
+        raise ValueError("ns and values must be 1-D arrays of equal length")
+    if ns.size < 2 or np.unique(ns).size < 2:
+        raise ValueError("need at least two distinct sizes")
+    if np.any(ns <= 0) or np.any(values <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(ns), np.log(values)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(((ly - pred) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r2,
+    )

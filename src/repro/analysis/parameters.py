@@ -1,0 +1,59 @@
+"""Parameter selection per the proof of Theorem 4.
+
+Given alpha (and for small memories a target epsilon), choose the
+replication factor q and depth k minimizing the simulation time:
+
+* q = 3 always (both ``T_sim`` and ``q^k`` increase with q);
+* ``alpha <= 3/2``: ``k = ceil(log2(max(2, (alpha - 1)/(2 epsilon))))``
+  gives ``T in O(n^{1/2 + epsilon})`` with constant redundancy;
+* ``3/2 <= alpha <= 5/3``: k = 3 gives ``n^{1/2 + (alpha-1)/16}``;
+* ``5/3 <= alpha <= 2``: k = 3 (k = 2 for the alpha -> 2 endpoint, Eq. 9)
+  gives ``n^{1/2 + (2 alpha - 3)/8}``;
+* polylog redundancy (``alpha <= 3/2``): grow k with n so that
+  ``q^{(k+1)/2} = n^{(alpha-1)/2^{k+1}}`` — k ~ O(log log n), redundancy
+  ``q^k`` polylogarithmic, time ``n^{1/2} polylog(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["choose_parameters", "polylog_parameters"]
+
+
+def choose_parameters(alpha: float, *, epsilon: float = 0.05) -> tuple[int, int]:
+    """Return ``(q, k)`` for the constant-redundancy regimes of Theorem 4."""
+    if not 1.0 < alpha <= 2.0:
+        raise ValueError(f"alpha must be in (1, 2], got {alpha}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    q = 3
+    if alpha <= 1.5:
+        k = math.ceil(math.log2(max(2.0, (alpha - 1) / (2 * epsilon))))
+        return q, max(1, k)
+    if alpha >= 1.99:
+        # The alpha -> 2 endpoint: k = 2, redundancy q^2 = 9 (Eq. 9).
+        return q, 2
+    return q, 3
+
+
+def polylog_parameters(alpha: float, n: int, *, q: int = 3) -> tuple[int, int]:
+    """Return ``(q, k)`` for the polylog-redundancy regime (alpha <= 3/2).
+
+    Solves ``q^{(k'+1)/2} = n^{(alpha-1)/2^{k'+1}}`` for k' by fixed-point
+    iteration and returns ``k = ceil(k')``; ``q^k`` is then
+    ``O((log n / log log n)^{log_2 3})``.
+    """
+    if not 1.0 < alpha <= 1.5:
+        raise ValueError(f"polylog regime needs alpha in (1, 1.5], got {alpha}")
+    if n < 16:
+        raise ValueError("n too small for the asymptotic parameter choice")
+    ln_n = math.log(n)
+    ln_q = math.log(q)
+    # k' satisfies (k'+1)/2 * ln q = (alpha-1) ln n / 2^{k'+1}.
+    kp = 1.0
+    for _ in range(64):
+        rhs = (alpha - 1) * ln_n / 2 ** (kp + 1)
+        kp_new = 2 * rhs / ln_q - 1
+        kp = 0.5 * kp + 0.5 * max(kp_new, 0.0)
+    return q, max(1, math.ceil(kp))

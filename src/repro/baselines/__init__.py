@@ -1,0 +1,40 @@
+"""Competing memory-distribution schemes from the literature.
+
+These give experiment E10 its comparison points, implemented as
+first-class schemes evaluated by a common harness
+(:func:`repro.baselines.evaluate.evaluate_scheme`) on the same mesh and
+routing engine as the HMOS:
+
+* :class:`SingleCopyScheme` — no replication; the trivial scheme whose
+  worst case (all requests in one module) is Theta(n)-serialized.
+* :class:`HashedScheme` — single copy placed by a Carter-Wegman
+  universal hash [CW79]; excellent on random request sets, still
+  Theta(n) against an adversary who knows the (public) hash.
+* :class:`MehlhornVishkinScheme` [MV84] — c copies, read-one /
+  write-all with greedy least-loaded copy choice.
+* :class:`UpfalWigdersonScheme` [UW87] — 2c-1 copies via a random
+  bipartite graph with majority access (the existence-only MOS the paper
+  is constructivizing).
+"""
+
+from repro.baselines.evaluate import BaselineResult, evaluate_scheme
+from repro.baselines.hashing import CarterWegmanHash, HashedScheme
+from repro.baselines.mv84 import MehlhornVishkinScheme
+from repro.baselines.single_copy import SingleCopyScheme
+from repro.baselines.uw87 import UpfalWigdersonScheme
+from repro.baselines.workloads import (
+    adversarial_requests,
+    uniform_requests,
+)
+
+__all__ = [
+    "BaselineResult",
+    "CarterWegmanHash",
+    "HashedScheme",
+    "MehlhornVishkinScheme",
+    "SingleCopyScheme",
+    "UpfalWigdersonScheme",
+    "adversarial_requests",
+    "evaluate_scheme",
+    "uniform_requests",
+]

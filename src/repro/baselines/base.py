@@ -1,0 +1,81 @@
+"""Common interface of baseline memory-distribution schemes.
+
+A scheme owns a placement of variable copies onto ``n`` memory modules
+(module j is local to mesh node j) and answers one question per request
+batch: *which copies must each access touch?*  The shared evaluator then
+measures module contention and routes the packets on the mesh.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["MemoryScheme"]
+
+
+class MemoryScheme(ABC):
+    """Abstract base: maps accesses to copy locations.
+
+    Attributes
+    ----------
+    num_variables : int
+        Shared-memory size the scheme serves.
+    n : int
+        Number of modules (= mesh nodes).
+    redundancy : int
+        Copies per variable.
+    """
+
+    def __init__(self, num_variables: int, n: int, redundancy: int):
+        if num_variables < 1 or n < 1 or redundancy < 1:
+            raise ValueError("num_variables, n and redundancy must be positive")
+        self.num_variables = int(num_variables)
+        self.n = int(n)
+        self.redundancy = int(redundancy)
+
+    @abstractmethod
+    def copy_nodes(self, variables: np.ndarray) -> np.ndarray:
+        """All copy locations of each variable; shape ``(N, redundancy)``."""
+
+    @abstractmethod
+    def access_nodes(self, variables: np.ndarray, op: str) -> list[np.ndarray]:
+        """Nodes each request must touch; one array per request.
+
+        ``op`` is ``"read"`` or ``"write"``.  The scheme applies its own
+        protocol (read-one, write-all, majority, ...), including any
+        congestion-aware copy choice.
+        """
+
+    def _check(self, variables) -> np.ndarray:
+        variables = np.asarray(variables, dtype=np.int64)
+        if np.any((variables < 0) | (variables >= self.num_variables)):
+            raise ValueError("variable id out of range")
+        return variables
+
+    @staticmethod
+    def _check_op(op: str) -> str:
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        return op
+
+
+def greedy_least_loaded(
+    options: np.ndarray, picks: int, n: int
+) -> list[np.ndarray]:
+    """Congestion-aware copy choice shared by MV84 and UW87.
+
+    For each row of ``options`` (candidate nodes per request, processed
+    in order), select ``picks`` distinct nodes minimizing the current
+    maximum load — the standard greedy protocol both papers' access
+    schedulers reduce to in the read case.
+    """
+    load = np.zeros(n, dtype=np.int64)
+    out = []
+    for row in options:
+        order = np.argsort(load[row], kind="stable")
+        chosen = row[order[:picks]]
+        load[chosen] += 1
+        out.append(chosen)
+    return out

@@ -1,0 +1,91 @@
+"""Carter-Wegman universal hashing and the hashed single-copy scheme.
+
+The randomized simulations ([MV84, KU88, Ran91, ...]) distribute the
+shared memory by a hash function drawn from a universal class [CW79]:
+
+    h_{a,b}(x) = ((a x + b) mod p) mod n,   1 <= a < p, 0 <= b < p
+
+with p prime > universe size.  Against *random* request sets the max
+module load is O(log n / log log n) w.h.p.; against an adversary who
+knows h (any deterministic setting — the paper's motivation) the load is
+still Theta(n): the preimage of one module has ~num_variables/n cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MemoryScheme
+
+__all__ = ["CarterWegmanHash", "HashedScheme"]
+
+
+def _next_prime(x: int) -> int:
+    def is_prime(v: int) -> bool:
+        if v < 2:
+            return False
+        f = 2
+        while f * f <= v:
+            if v % f == 0:
+                return False
+            f += 1
+        return True
+
+    while not is_prime(x):
+        x += 1
+    return x
+
+
+class CarterWegmanHash:
+    """One member ``h_{a,b}`` of the [CW79] universal class."""
+
+    def __init__(self, universe: int, buckets: int, *, seed: int = 0):
+        if universe < 1 or buckets < 1:
+            raise ValueError("universe and buckets must be positive")
+        self.universe = int(universe)
+        self.buckets = int(buckets)
+        self.p = _next_prime(max(universe, buckets) + 1)
+        rng = np.random.default_rng(seed)
+        self.a = int(rng.integers(1, self.p))
+        self.b = int(rng.integers(0, self.p))
+
+    def __call__(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.int64)
+        if np.any((x < 0) | (x >= self.universe)):
+            raise ValueError("hash input out of universe")
+        return ((self.a * x + self.b) % self.p) % self.buckets
+
+    def preimages_of(self, bucket: int, count: int) -> np.ndarray:
+        """``count`` distinct universe elements hashing to ``bucket`` —
+        the adversary's request set (h is public in a deterministic
+        setting)."""
+        out = []
+        for x in range(self.universe):
+            if ((self.a * x + self.b) % self.p) % self.buckets == bucket:
+                out.append(x)
+                if len(out) == count:
+                    break
+        if len(out) < count:
+            raise ValueError(f"bucket {bucket} has only {len(out)} preimages")
+        return np.array(out, dtype=np.int64)
+
+
+class HashedScheme(MemoryScheme):
+    """Single copy per variable at the hashed module [CW79, Ran91-style]."""
+
+    def __init__(self, num_variables: int, n: int, *, seed: int = 0):
+        super().__init__(num_variables, n, redundancy=1)
+        self.hash = CarterWegmanHash(num_variables, n, seed=seed)
+
+    def copy_nodes(self, variables: np.ndarray) -> np.ndarray:
+        variables = self._check(variables)
+        return self.hash(variables)[:, None]
+
+    def access_nodes(self, variables: np.ndarray, op: str) -> list[np.ndarray]:
+        self._check_op(op)
+        nodes = self.copy_nodes(variables)
+        return [nodes[i] for i in range(nodes.shape[0])]
+
+    def colliding_variables(self, count: int, node: int = 0) -> np.ndarray:
+        """Adversarial request set: preimages of one module."""
+        return self.hash.preimages_of(node, count)

@@ -1,0 +1,41 @@
+"""The Mehlhorn-Vishkin multiple-copy scheme [MV84].
+
+Each variable keeps ``c`` copies placed by ``c`` distinct hash functions
+(here: independent Carter-Wegman draws, mirroring the paper's
+c-collection).  Reading needs any *one* copy — chosen greedily to level
+module load — while writing must update *all* ``c`` copies, which is why
+MV84's write step degrades to O(cn) in the worst case: the asymmetry the
+majority-based schemes ([UW87] and the HMOS) remove.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MemoryScheme, greedy_least_loaded
+from repro.baselines.hashing import CarterWegmanHash
+
+__all__ = ["MehlhornVishkinScheme"]
+
+
+class MehlhornVishkinScheme(MemoryScheme):
+    """c copies; read-one (least-loaded), write-all."""
+
+    def __init__(self, num_variables: int, n: int, *, c: int = 3, seed: int = 0):
+        if c < 1:
+            raise ValueError("c must be >= 1")
+        super().__init__(num_variables, n, redundancy=c)
+        self.hashes = [
+            CarterWegmanHash(num_variables, n, seed=seed * 1000 + j) for j in range(c)
+        ]
+
+    def copy_nodes(self, variables: np.ndarray) -> np.ndarray:
+        variables = self._check(variables)
+        return np.stack([h(variables) for h in self.hashes], axis=1)
+
+    def access_nodes(self, variables: np.ndarray, op: str) -> list[np.ndarray]:
+        self._check_op(op)
+        nodes = self.copy_nodes(variables)
+        if op == "write":
+            return [nodes[i] for i in range(nodes.shape[0])]
+        return greedy_least_loaded(nodes, picks=1, n=self.n)

@@ -1,0 +1,38 @@
+"""The no-replication strawman: one copy, cyclic placement.
+
+Variable v lives in module ``v mod n``.  Uniform traffic spreads well,
+but the adversary who requests n variables congruent mod n serializes
+the machine — the "trivial worst case" the paper's introduction uses to
+motivate replication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MemoryScheme
+
+__all__ = ["SingleCopyScheme"]
+
+
+class SingleCopyScheme(MemoryScheme):
+    """Single copy per variable at node ``v mod n``."""
+
+    def __init__(self, num_variables: int, n: int):
+        super().__init__(num_variables, n, redundancy=1)
+
+    def copy_nodes(self, variables: np.ndarray) -> np.ndarray:
+        variables = self._check(variables)
+        return (variables % self.n)[:, None]
+
+    def access_nodes(self, variables: np.ndarray, op: str) -> list[np.ndarray]:
+        self._check_op(op)
+        nodes = self.copy_nodes(variables)
+        return [nodes[i] for i in range(nodes.shape[0])]
+
+    def colliding_variables(self, count: int, node: int = 0) -> np.ndarray:
+        """An adversarial request set: ``count`` distinct variables all
+        stored in module ``node``."""
+        if count > (self.num_variables - node + self.n - 1) // self.n:
+            raise ValueError("not enough variables congruent to that node")
+        return node + self.n * np.arange(count, dtype=np.int64)

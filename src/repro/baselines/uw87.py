@@ -1,0 +1,48 @@
+"""The Upfal-Wigderson majority scheme [UW87].
+
+``2c - 1`` copies per variable, placed by a *random* bipartite graph
+(variables x modules); any read or write touches a majority ``c`` of
+them, chosen congestion-aware.  This is the scheme whose memory map
+exists only probabilistically — the paper under reproduction replaces
+the random graph with the constructive BIBD hierarchy; here we keep the
+random graph (seeded) as the faithful baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MemoryScheme, greedy_least_loaded
+
+__all__ = ["UpfalWigdersonScheme"]
+
+
+class UpfalWigdersonScheme(MemoryScheme):
+    """2c-1 random copies with majority-c access."""
+
+    def __init__(self, num_variables: int, n: int, *, c: int = 2, seed: int = 0):
+        if c < 1:
+            raise ValueError("c must be >= 1")
+        super().__init__(num_variables, n, redundancy=2 * c - 1)
+        self.c = int(c)
+        self._seed = int(seed)
+
+    def copy_nodes(self, variables: np.ndarray) -> np.ndarray:
+        variables = self._check(variables)
+        # Per-variable deterministic pseudo-random placement: the random
+        # graph is fixed once (seeded) but we never materialize all
+        # num_variables rows — each row is re-derived from its id.
+        out = np.empty((variables.size, self.redundancy), dtype=np.int64)
+        for i, v in enumerate(variables.tolist()):
+            rng = np.random.default_rng((self._seed << 32) ^ v)
+            if self.redundancy <= self.n:
+                out[i] = rng.choice(self.n, size=self.redundancy, replace=False)
+            else:
+                out[i] = rng.integers(0, self.n, size=self.redundancy)
+        return out
+
+    def access_nodes(self, variables: np.ndarray, op: str) -> list[np.ndarray]:
+        self._check_op(op)
+        nodes = self.copy_nodes(variables)
+        # Reads and writes both touch a majority c, congestion-aware.
+        return greedy_least_loaded(nodes, picks=self.c, n=self.n)

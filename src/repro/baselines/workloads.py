@@ -1,0 +1,53 @@
+"""Request-set generators for the comparison experiments.
+
+Two canonical workloads:
+
+* *uniform* — n distinct variables drawn uniformly: the average case
+  randomized schemes are designed for;
+* *adversarial* — n distinct variables that collide maximally under the
+  target scheme's (public, deterministic) placement: the worst case that
+  motivates deterministic simulation with replication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MemoryScheme
+
+__all__ = ["uniform_requests", "adversarial_requests"]
+
+
+def uniform_requests(
+    num_variables: int, count: int, *, seed: int = 0
+) -> np.ndarray:
+    """``count`` distinct uniformly-random variable ids."""
+    if count > num_variables:
+        raise ValueError("cannot draw more distinct variables than exist")
+    rng = np.random.default_rng(seed)
+    return rng.choice(num_variables, size=count, replace=False).astype(np.int64)
+
+
+def adversarial_requests(scheme: MemoryScheme, count: int) -> np.ndarray:
+    """Variables whose copies concentrate on few modules under ``scheme``.
+
+    Schemes with a ``colliding_variables`` hook (single-copy, hashed) get
+    their exact worst case — ``count`` variables in one module.  For
+    replicated schemes a greedy adversary scans the id space and keeps
+    the variables with the most copies on the currently-most-loaded
+    module; replication provably defeats this (the point of E10), so the
+    returned set is merely the greedy adversary's best effort.
+    """
+    hook = getattr(scheme, "colliding_variables", None)
+    if hook is not None:
+        return hook(count)
+    # Greedy adversary against replicated schemes: pick the module with
+    # the most copies among a sample, then all variables touching it.
+    sample = np.arange(min(scheme.num_variables, max(4096, 16 * count)), dtype=np.int64)
+    nodes = scheme.copy_nodes(sample)
+    target = np.bincount(nodes.reshape(-1), minlength=scheme.n).argmax()
+    hits = sample[(nodes == target).any(axis=1)]
+    if hits.size >= count:
+        return hits[:count]
+    rest = np.setdiff1d(sample, hits, assume_unique=True)
+    return np.concatenate([hits, rest[: count - hits.size]])

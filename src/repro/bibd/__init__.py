@@ -1,0 +1,36 @@
+"""Balanced Incomplete Block Designs for the HMOS memory map.
+
+The paper (following [PP93a]) uses the point/line incidence structure of
+the affine space AG(d, q): outputs are the ``q^d`` points, inputs are the
+``q^{d-1}(q^d-1)/(q-1)`` lines, and every pair of points lies on exactly
+one common line (a ``(q^d, q)``-BIBD with lambda = 1).  The appendix of
+the paper selects a *prefix* of the inputs, in a canonical enumeration, to
+obtain a subgraph with near-perfectly balanced output degrees
+(Theorem 5) — that subgraph is what each HMOS level uses.
+
+Everything here is O(1)-space per query: neighbor sets, line lookup and
+input ranks are computed arithmetically from ids, never from stored
+adjacency lists.  This realizes the paper's claim that the memory map has
+a "very efficient representation".
+"""
+
+from repro.bibd.affine import AffineBIBD, bibd_num_inputs
+from repro.bibd.projective import ProjectivePlane
+from repro.bibd.subgraph import BalancedSubgraph
+from repro.bibd.verify import (
+    verify_balanced_degrees,
+    verify_input_degrees,
+    verify_lambda_one,
+    verify_strong_expansion,
+)
+
+__all__ = [
+    "AffineBIBD",
+    "BalancedSubgraph",
+    "ProjectivePlane",
+    "bibd_num_inputs",
+    "verify_balanced_degrees",
+    "verify_input_degrees",
+    "verify_lambda_one",
+    "verify_strong_expansion",
+]

@@ -1,0 +1,275 @@
+"""The explicit ``(q^d, q)``-BIBD of [PP93a]: lines of AG(d, q).
+
+Encoding (paper appendix).  An input (line) is a pair ``Phi(h, A, B)``::
+
+    base      = (a_{d-2}, ..., a_h, 0, a_{h-1}, ..., a_1, a_0)
+    direction = (0, ..., 0, 1, b_{h-1}, ..., b_1, b_0)
+
+with ``h`` the position of the leading 1 of the (monic-normalized)
+direction, ``A in [0, q^{d-1})`` the base-q integer of the remaining base
+coordinates and ``B in [0, q^h)`` that of the direction tail.  The line's
+q points (its BIBD neighbors) are ``base + x * direction`` for every
+``x in GF(q)``.
+
+Input ids enumerate ``(h, B, A)`` lexicographically::
+
+    id(h, A, B) = q^{d-1} * (q^h - 1)/(q - 1)  +  B * q^{d-1}  +  A
+
+This order is exactly the one the appendix's balanced prefix selection
+(V1 | V2 | V3) requires, so a :class:`repro.bibd.BalancedSubgraph` is
+simply "the first m inputs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ff import get_field
+from repro.util.intmath import digits_from_int, int_from_digits
+from repro.util.validate import check_positive
+
+__all__ = ["AffineBIBD", "bibd_num_inputs"]
+
+
+def bibd_num_inputs(q: int, d: int) -> int:
+    """Number of inputs (lines) ``f(d) = q^{d-1} (q^d - 1)/(q - 1)``."""
+    check_positive("q", q, minimum=2)
+    check_positive("d", d, minimum=1)
+    return q ** (d - 1) * (q**d - 1) // (q - 1)
+
+
+class AffineBIBD:
+    """Explicit ``(q^d, q)``-BIBD with arithmetic (storage-free) incidence.
+
+    Parameters
+    ----------
+    q : int
+        Prime power; the block size (line length) and input degree.
+    d : int
+        Dimension; there are ``q^d`` outputs (points).
+
+    Notes
+    -----
+    All id-typed arguments are vectorized: methods accept ints or int64
+    arrays and broadcast.  No adjacency is ever materialized, matching the
+    constant-internal-storage claim of [PP93a].
+    """
+
+    def __init__(self, q: int, d: int):
+        self.field = get_field(q)
+        self.q = int(q)
+        self.d = check_positive("d", d, minimum=1)
+        self.num_outputs = self.q**self.d
+        self.num_inputs = bibd_num_inputs(self.q, self.d)
+        # Per-h offsets of the input id space: offset[h] = q^{d-1}*(q^h-1)/(q-1).
+        geo = (self.q ** np.arange(self.d + 1, dtype=np.int64) - 1) // (self.q - 1)
+        self._offsets = self.q ** (self.d - 1) * geo  # length d+1; [d] = num_inputs
+        self.input_degree = self.q
+        self.output_degree = (self.q**self.d - 1) // (self.q - 1)
+
+    # -- id codecs --------------------------------------------------------
+
+    def decode_inputs(self, ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``id -> (h, A, B)``."""
+        ids = self._check_ids(ids, self.num_inputs, "input")
+        h = (np.searchsorted(self._offsets, ids, side="right") - 1).astype(np.int64)
+        rem = ids - self._offsets[h]
+        qd1 = self.q ** (self.d - 1)
+        B = rem // qd1
+        A = rem % qd1
+        return h, A, B
+
+    def encode_inputs(self, h, A, B) -> np.ndarray:
+        """Vectorized ``(h, A, B) -> id`` (inverse of :meth:`decode_inputs`)."""
+        h = np.asarray(h, dtype=np.int64)
+        A = np.asarray(A, dtype=np.int64)
+        B = np.asarray(B, dtype=np.int64)
+        if np.any((h < 0) | (h >= self.d)):
+            raise ValueError("h out of range")
+        if np.any((A < 0) | (A >= self.q ** (self.d - 1))):
+            raise ValueError("A out of range")
+        if np.any((B < 0) | (B >= self.q**h)):
+            raise ValueError("B out of range")
+        return self._offsets[h] + B * self.q ** (self.d - 1) + A
+
+    def _check_ids(self, ids, size: int, kind: str) -> np.ndarray:
+        arr = np.asarray(ids, dtype=np.int64)
+        if np.any((arr < 0) | (arr >= size)):
+            raise ValueError(f"{kind} id out of range [0, {size})")
+        return arr
+
+    # -- geometry ---------------------------------------------------------
+
+    def _line_vectors(self, ids) -> tuple[np.ndarray, np.ndarray]:
+        """Return (base, direction) digit vectors, shape (..., d), LSD first."""
+        h, A, B = self.decode_inputs(ids)
+        d, q = self.d, self.q
+        a = digits_from_int(A, q, d - 1)  # (..., d-1)
+        b = digits_from_int(B, q, max(d - 1, 1))  # (..., >=1); only first h used
+        shape = h.shape + (d,)
+        base = np.zeros(shape, dtype=np.int64)
+        direction = np.zeros(shape, dtype=np.int64)
+        # Work on flattened views to keep the masking simple.
+        hf = h.reshape(-1)
+        af = a.reshape(-1, d - 1) if d > 1 else a.reshape(-1, 0)
+        bf = b.reshape(-1, b.shape[-1])
+        basef = base.reshape(-1, d)
+        dirf = direction.reshape(-1, d)
+        for j in range(d):
+            below_j = hf > j
+            above_j = hf < j
+            at_j = hf == j
+            if d > 1:
+                # base: a_j below h, 0 at h, a_{j-1} above h
+                basef[below_j, j] = af[below_j, j] if j < d - 1 else 0
+                if j >= 1:
+                    basef[above_j, j] = af[above_j, j - 1]
+            dirf[at_j, j] = 1
+            if j < bf.shape[1]:
+                dirf[below_j, j] = bf[below_j, j]
+        return base, direction
+
+    def neighbors(self, input_ids) -> np.ndarray:
+        """Output ids of the q points on each line; shape ``(..., q)``.
+
+        Neighbor ``[..., x]`` is the point ``base + x * direction`` — the
+        slot index x is the field element multiplying the direction, which
+        gives every input a canonical 0..q-1 labelling of its edges (these
+        labels are the "which copy" digits of the HMOS copy trees).
+        """
+        base, direction = self._line_vectors(input_ids)
+        fld = self.field
+        x = fld.elements()  # (q,)
+        # points[..., x, j] = base[..., j] + x * direction[..., j]
+        pts = fld.add(
+            base[..., None, :], fld.mul(x[:, None], direction[..., None, :])
+        )
+        return int_from_digits(pts, self.q)
+
+    def line_through(self, u1, u2) -> np.ndarray:
+        """The unique input (line) through two *distinct* points.
+
+        This is the constructive witness of the lambda = 1 property: the
+        direction is ``u2 - u1`` normalized monic, and the base point is
+        the point of the line whose h-th coordinate is zero.
+        """
+        u1 = self._check_ids(u1, self.num_outputs, "output")
+        u2 = self._check_ids(u2, self.num_outputs, "output")
+        if np.any(u1 == u2):
+            raise ValueError("line_through requires distinct points")
+        fld = self.field
+        p1 = digits_from_int(u1, self.q, self.d)
+        p2 = digits_from_int(u2, self.q, self.d)
+        delta = fld.sub(p2, p1)  # (..., d), non-zero somewhere
+        # h = highest index with delta != 0
+        nz = delta != 0
+        pos = np.arange(self.d, dtype=np.int64)
+        h = np.max(np.where(nz, pos, -1), axis=-1)
+        lead = np.take_along_axis(delta, h[..., None], axis=-1)[..., 0]
+        direction = fld.mul(delta, fld.inv(lead)[..., None])
+        # Base point: p1 - p1[h] * direction  (h-th coordinate becomes 0).
+        coeff = np.take_along_axis(p1, h[..., None], axis=-1)[..., 0]
+        base = fld.sub(p1, fld.mul(coeff[..., None], direction))
+        return self._encode_line(h, base, direction)
+
+    def _encode_line(self, h, base, direction) -> np.ndarray:
+        """Encode (h, base digits, direction digits) back to an input id."""
+        d, q = self.d, self.q
+        hf = np.asarray(h, dtype=np.int64).reshape(-1)
+        basef = base.reshape(-1, d)
+        dirf = direction.reshape(-1, d)
+        n = hf.size
+        a = np.zeros((n, max(d - 1, 1)), dtype=np.int64)
+        b = np.zeros((n, max(d - 1, 1)), dtype=np.int64)
+        for j in range(d):
+            sel_below = hf > j
+            sel_above = hf < j
+            if j < d - 1:
+                a[sel_below, j] = basef[sel_below, j]
+            if j >= 1:
+                a[sel_above, j - 1] = basef[sel_above, j]
+            if j < b.shape[1]:
+                b[sel_below, j] = dirf[sel_below, j]
+        A = int_from_digits(a, q) if d > 1 else np.zeros(n, dtype=np.int64)
+        B = int_from_digits(b, q)
+        out = self.encode_inputs(hf, A, B)
+        return out.reshape(np.asarray(h).shape)
+
+    def line_through_with_params(self, u, h, B) -> np.ndarray:
+        """The unique ``A`` with line ``Phi(h, A, B)`` passing through point u.
+
+        Used by the balanced subgraph to compute output degrees and input
+        ranks without enumeration: for fixed (h, B) the lines partition
+        the points, so each point determines A.
+        """
+        u = self._check_ids(u, self.num_outputs, "output")
+        h = np.asarray(h, dtype=np.int64)
+        B = np.asarray(B, dtype=np.int64)
+        fld = self.field
+        pts = digits_from_int(u, self.q, self.d)
+        b = digits_from_int(B, self.q, max(self.d - 1, 1))
+        d = self.d
+        # x = u[h]; base = u - x * direction; A = base digits minus pos h.
+        hb = np.broadcast_to(h, u.shape)
+        x = np.take_along_axis(pts, hb[..., None], axis=-1)[..., 0]
+        shape = np.broadcast_shapes(pts.shape[:-1], hb.shape)
+        direction = np.zeros(shape + (d,), dtype=np.int64)
+        dirf = direction.reshape(-1, d)
+        hf = np.broadcast_to(hb, shape).reshape(-1)
+        bf = np.broadcast_to(b, shape + (b.shape[-1],)).reshape(-1, b.shape[-1])
+        for j in range(d):
+            at_j = hf == j
+            below_j = hf > j
+            dirf[at_j, j] = 1
+            if j < bf.shape[1]:
+                dirf[below_j, j] = bf[below_j, j]
+        base = fld.sub(pts, fld.mul(x[..., None], direction))
+        basef = base.reshape(-1, d)
+        a = np.zeros((basef.shape[0], max(d - 1, 1)), dtype=np.int64)
+        for j in range(d):
+            below_j = hf > j
+            above_j = hf < j
+            if j < d - 1:
+                a[below_j, j] = basef[below_j, j]
+            if j >= 1:
+                a[above_j, j - 1] = basef[above_j, j]
+        A = int_from_digits(a, self.q) if d > 1 else np.zeros(basef.shape[0], dtype=np.int64)
+        return A.reshape(shape)
+
+    def input_rank_at_output(self, input_ids, output_ids) -> np.ndarray:
+        """Rank (0-based) of a line among all lines through a given point.
+
+        Lines through a point, listed in input-id order, are ordered by
+        ``(h, B)`` with exactly one line per pair, so the rank is the
+        closed form ``(q^h - 1)/(q - 1) + B`` — O(1) per query, which is
+        what makes the HMOS memory map constant-storage.
+
+        ``output_ids`` is accepted (and validated for incidence) so the
+        subgraph subclass can share the signature.
+        """
+        h, A, B = self.decode_inputs(input_ids)
+        expected_A = self.line_through_with_params(output_ids, h, B)
+        if np.any(expected_A != A):
+            raise ValueError("input is not incident to output")
+        return (self.q**h - 1) // (self.q - 1) + B
+
+    def adjacent_inputs(self, output_id: int) -> np.ndarray:
+        """All lines through one point, in rank order (size ``output_degree``).
+
+        Enumerative (O(degree) work) — used for audits and page layout,
+        not on hot paths.
+        """
+        hs = []
+        Bs = []
+        for h in range(self.d):
+            count = self.q**h
+            hs.append(np.full(count, h, dtype=np.int64))
+            Bs.append(np.arange(count, dtype=np.int64))
+        h = np.concatenate(hs)
+        B = np.concatenate(Bs)
+        u = np.full(h.shape, output_id, dtype=np.int64)
+        A = self.line_through_with_params(u, h, B)
+        return self.encode_inputs(h, A, B)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AffineBIBD(q={self.q}, d={self.d})"

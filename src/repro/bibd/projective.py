@@ -1,0 +1,134 @@
+"""Projective planes PG(2, q): the other classical lambda = 1 design.
+
+The paper's HMOS uses the *affine* design AG(d, q) (lines of the affine
+space).  The projective plane of order q is the other canonical
+construction with the pairwise-intersection property the scheme's
+expansion argument needs:
+
+* ``q^2 + q + 1`` points and equally many lines;
+* every line has ``q + 1`` points, every point lies on ``q + 1`` lines;
+* two points share exactly one line AND two lines share exactly one
+  point (full duality — strictly stronger than AG's lambda = 1).
+
+Construction: points and lines are the 1- and 2-dimensional subspaces
+of GF(q)^3; a point lies on a line iff the dot product of their
+homogeneous coordinate vectors vanishes.  Ids use the standard
+normalization (last nonzero coordinate = 1).
+
+Provided as an extension (DESIGN.md): a drop-in alternative input
+distribution for single-level schemes, with replication ``q + 1`` and
+majority ``floor((q+1)/2) + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ff import get_field
+from repro.util.validate import check_positive
+
+__all__ = ["ProjectivePlane"]
+
+
+class ProjectivePlane:
+    """The projective plane PG(2, q) as a bipartite incidence structure.
+
+    Inputs are lines, outputs are points (mirroring
+    :class:`repro.bibd.AffineBIBD`'s orientation); by duality the roles
+    are interchangeable.
+    """
+
+    def __init__(self, q: int):
+        check_positive("q", q, minimum=2)
+        self.field = get_field(q)
+        self.q = int(q)
+        self.size = q * q + q + 1
+        self.num_inputs = self.size  # lines
+        self.num_outputs = self.size  # points
+        self.input_degree = q + 1  # points per line
+        self.output_degree = q + 1  # lines per point
+        # Canonical homogeneous representatives, id-ordered:
+        #   [0, q^2)           -> (x, y, 1)
+        #   [q^2, q^2 + q)     -> (x, 1, 0)
+        #   q^2 + q            -> (1, 0, 0)
+        self._vectors = self._build_vectors()
+        # Incidence is symmetric in (point, line) vectors: dot == 0.
+        self._incidence = self._build_incidence()
+
+    def _build_vectors(self) -> np.ndarray:
+        q = self.q
+        vecs = np.zeros((self.size, 3), dtype=np.int64)
+        idx = np.arange(q * q)
+        vecs[: q * q, 0] = idx % q
+        vecs[: q * q, 1] = idx // q
+        vecs[: q * q, 2] = 1
+        vecs[q * q : q * q + q, 0] = np.arange(q)
+        vecs[q * q : q * q + q, 1] = 1
+        vecs[q * q + q, 0] = 1
+        return vecs
+
+    def _build_incidence(self) -> np.ndarray:
+        fld = self.field
+        v = self._vectors
+        # dot[i, j] = v_i . v_j over GF(q)
+        prod0 = fld.mul(v[:, None, 0], v[None, :, 0])
+        prod1 = fld.mul(v[:, None, 1], v[None, :, 1])
+        prod2 = fld.mul(v[:, None, 2], v[None, :, 2])
+        dot = fld.add(fld.add(prod0, prod1), prod2)
+        return dot == 0
+
+    # -- queries -----------------------------------------------------------
+
+    def vector_of(self, ids) -> np.ndarray:
+        """Canonical homogeneous coordinates of points/lines."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if np.any((ids < 0) | (ids >= self.size)):
+            raise ValueError(f"id out of range [0, {self.size})")
+        return self._vectors[ids]
+
+    def neighbors(self, line_ids) -> np.ndarray:
+        """The ``q + 1`` points on each line; shape ``(..., q + 1)``."""
+        line_ids = np.asarray(line_ids, dtype=np.int64)
+        if np.any((line_ids < 0) | (line_ids >= self.size)):
+            raise ValueError("line id out of range")
+        flat = line_ids.reshape(-1)
+        out = np.empty((flat.size, self.q + 1), dtype=np.int64)
+        for i, line in enumerate(flat.tolist()):
+            out[i] = np.nonzero(self._incidence[line])[0]
+        return out.reshape(*line_ids.shape, self.q + 1)
+
+    def lines_through(self, point_ids) -> np.ndarray:
+        """The ``q + 1`` lines through each point (dual of neighbors)."""
+        return self.neighbors(point_ids)  # incidence is symmetric
+
+    def line_through(self, p1, p2) -> np.ndarray:
+        """The unique line through two distinct points (lambda = 1)."""
+        p1 = np.asarray(p1, dtype=np.int64)
+        p2 = np.asarray(p2, dtype=np.int64)
+        if np.any(p1 == p2):
+            raise ValueError("points must be distinct")
+        flat1, flat2 = p1.reshape(-1), p2.reshape(-1)
+        out = np.empty(flat1.size, dtype=np.int64)
+        for i, (a, b) in enumerate(zip(flat1.tolist(), flat2.tolist())):
+            common = np.nonzero(self._incidence[a] & self._incidence[b])[0]
+            if common.size != 1:  # pragma: no cover - structural guarantee
+                raise AssertionError(f"points {a},{b} share {common.size} lines")
+            out[i] = common[0]
+        return out.reshape(p1.shape)
+
+    def verify(self) -> dict[str, int]:
+        """Exhaustive structural audit; returns the counted parameters."""
+        inc = self._incidence
+        line_sizes = inc.sum(axis=1)
+        point_degrees = inc.sum(axis=0)
+        assert (line_sizes == self.q + 1).all(), "line size violated"
+        assert (point_degrees == self.q + 1).all(), "point degree violated"
+        gram = inc.astype(np.int64) @ inc.astype(np.int64).T
+        off = gram - np.diag(np.diag(gram))
+        assert (off[np.triu_indices(self.size, 1)] == 1).all(), "lambda != 1"
+        return {
+            "points": self.size,
+            "lines": self.size,
+            "line_size": self.q + 1,
+            "point_degree": self.q + 1,
+        }

@@ -1,0 +1,110 @@
+"""Balanced prefix subgraph of a ``(q^d, q)``-BIBD (paper appendix, Thm 5).
+
+Given ``m`` < f(d) desired inputs, the appendix keeps the input sets::
+
+    V1 = { Phi(h, A, B) : h < l }                      (all of levels h < l)
+    V2 = { Phi(l, A, B) : B < w }                      (first w direction tails)
+    V3 = { Phi(l, A, w) : A < z }                      (partial last tail)
+
+where ``m = q^{d-1} ((q^l - 1)/(q - 1) + w) + z``.  Because our input ids
+enumerate ``(h, B, A)`` lexicographically, this selection is exactly the
+id prefix ``[0, m)`` — so the subgraph is "the first m lines", and every
+output keeps degree ``floor(qm/q^d)`` or ``ceil(qm/q^d)`` (Theorem 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bibd.affine import AffineBIBD, bibd_num_inputs
+from repro.util.validate import check_positive
+
+__all__ = ["BalancedSubgraph"]
+
+
+class BalancedSubgraph:
+    """The first ``m`` inputs of an :class:`AffineBIBD`, degrees balanced.
+
+    Exposes the same incidence API as the full design restricted to the
+    selected inputs.  When ``m == f(d)`` this *is* the full design.
+
+    Attributes
+    ----------
+    l, w, z : int
+        The appendix decomposition ``m = q^{d-1}((q^l-1)/(q-1) + w) + z``.
+    rho_min, rho_max : int
+        The two possible output degrees (Theorem 5).
+    """
+
+    def __init__(self, q: int, d: int, m: int):
+        self.design = AffineBIBD(q, d)
+        self.q = self.design.q
+        self.d = self.design.d
+        full = bibd_num_inputs(q, d)
+        check_positive("m", m, minimum=1)
+        if m > full:
+            raise ValueError(f"m={m} exceeds the design's {full} inputs")
+        self.num_inputs = m
+        self.num_outputs = self.design.num_outputs
+        self.input_degree = self.q
+        # Decompose m = q^{d-1} ((q^l - 1)/(q - 1) + w) + z.
+        qd1 = self.q ** (self.d - 1)
+        blocks, self.z = divmod(m, qd1)
+        l = 0
+        acc = 0
+        while l < self.d and acc + self.q**l <= blocks:
+            acc += self.q**l
+            l += 1
+        self.l = l
+        self.w = blocks - acc
+        # Theorem 5 bounds.
+        self.rho_min = (self.q * m) // self.num_outputs
+        self.rho_max = -((-self.q * m) // self.num_outputs)
+
+    # -- incidence ---------------------------------------------------------
+
+    def _check_inputs(self, ids) -> np.ndarray:
+        arr = np.asarray(ids, dtype=np.int64)
+        if np.any((arr < 0) | (arr >= self.num_inputs)):
+            raise ValueError(f"input id out of range [0, {self.num_inputs})")
+        return arr
+
+    def neighbors(self, input_ids) -> np.ndarray:
+        """The q output neighbors of each selected input; shape ``(..., q)``."""
+        return self.design.neighbors(self._check_inputs(input_ids))
+
+    def output_degree(self, output_ids) -> np.ndarray:
+        """Exact degree of each output in the subgraph (Theorem 5 witness).
+
+        Every output sees one line per ``(h, B)`` pair, so its degree is
+        ``(q^l - 1)/(q - 1) + w`` plus one iff its unique line at
+        ``(h=l, B=w)`` has ``A < z``.
+        """
+        u = np.asarray(output_ids, dtype=np.int64)
+        base_deg = (self.q**self.l - 1) // (self.q - 1) + self.w
+        deg = np.full(u.shape, base_deg, dtype=np.int64)
+        if self.z > 0 and self.l < self.d:
+            A = self.design.line_through_with_params(
+                u, np.int64(self.l), np.int64(self.w)
+            )
+            deg = deg + (A < self.z)
+        return deg
+
+    def input_rank_at_output(self, input_ids, output_ids) -> np.ndarray:
+        """Rank of a selected line among selected lines through the point.
+
+        Identical to the full design's closed form because the selection
+        is a prefix in ``(h, B)`` order.
+        """
+        return self.design.input_rank_at_output(input_ids, output_ids)
+
+    def adjacent_inputs(self, output_id: int) -> np.ndarray:
+        """Selected lines through one point, in rank order."""
+        all_inputs = self.design.adjacent_inputs(output_id)
+        return all_inputs[all_inputs < self.num_inputs]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BalancedSubgraph(q={self.q}, d={self.d}, m={self.num_inputs},"
+            f" rho=[{self.rho_min},{self.rho_max}])"
+        )

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``     print the HMOS structure for given parameters
+``step``     simulate one PRAM memory step and print the cost breakdown
+``route``    compare routing strategies on a skewed instance
+``scaling``  sweep n and report measured scaling exponents
+``run``      assemble and execute a PRAM assembly program on the mesh
+``experiments``  list or execute the E1..E17 reproduction suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import fit_power_law, simulation_time_bound
+from repro.hmos import HMOS, module_collision_requests
+from repro.mesh import Mesh, PacketBatch, Tessellation, route_direct, route_via_submeshes
+from repro.pram import MeshBackend, PRAMMachine
+from repro.pram.interpreter import Interpreter, assemble
+from repro.protocol import AccessProtocol
+from repro.util import format_table
+
+__all__ = ["main"]
+
+
+def _add_scheme_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=256, help="mesh nodes (power-of-4 square)")
+    parser.add_argument("--alpha", type=float, default=1.5, help="memory exponent (1, 2]")
+    parser.add_argument("--q", type=int, default=3, help="replication factor (prime power >= 3)")
+    parser.add_argument("--k", type=int, default=2, help="hierarchy depth")
+
+
+def _cmd_info(args) -> int:
+    scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
+    print(scheme.describe())
+    return 0
+
+
+def _cmd_step(args) -> int:
+    scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
+    proto = AccessProtocol(scheme, engine=args.engine)
+    if args.workload == "adversarial":
+        variables = module_collision_requests(scheme, args.n)
+    else:
+        variables = np.unique(
+            (np.arange(args.n, dtype=np.int64) * 7919) % scheme.num_variables
+        )[: args.n]
+    if args.op == "write":
+        res = proto.write(variables, variables, timestamp=1)
+    else:
+        res = proto.read(variables)
+    rows = [
+        [f"stage {s.stage}", s.t_nodes, s.delta_in, s.delta_out,
+         f"{s.sort_steps:.0f}", f"{s.route_steps:.0f}"]
+        for s in res.stages
+    ]
+    rows.append(["return", "-", "-", "-", "-", f"{res.return_steps:.0f}"])
+    rows.append(["culling", "-", "-", "-", "-", f"{res.culling.charged_steps:.0f}"])
+    print(format_table(
+        ["phase", "t_i", "delta_in", "delta_out", "sort", "route"],
+        rows,
+        title=f"{args.op} step: n={args.n} alpha={args.alpha} "
+        f"({args.workload} workload, {args.engine} engine)",
+    ))
+    bound = simulation_time_bound(args.n, args.alpha, args.q, args.k)
+    print(f"\nT_sim measured: {res.total_steps:.0f}   Eq.(8) closed form: {bound:.0f}")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    mesh = Mesh(args.side)
+    tess = Tessellation.uniform(mesh.n, args.submeshes)
+    rng = np.random.default_rng(args.seed)
+    hot_nodes = mesh.node_of_rank(
+        np.arange(args.hot, dtype=np.int64) * (mesh.n // args.hot)
+    )
+    dst = np.repeat(hot_nodes, mesh.n // args.hot)
+    rng.shuffle(dst)
+    batch = PacketBatch(np.arange(mesh.n, dtype=np.int64), dst)
+    direct = route_direct(mesh, batch)
+    staged = route_via_submeshes(mesh, batch, tess)
+    print(format_table(
+        ["strategy", "steps", "detail"],
+        [
+            ["direct greedy", direct.steps, f"max queue {direct.max_queue}"],
+            ["staged (Sec. 2)", staged.steps,
+             f"sort {staged.sort_steps} + spread {staged.spread_steps}"
+             f" + deliver {staged.deliver_steps}"],
+        ],
+        title=f"{mesh.side}x{mesh.side} mesh, {args.hot} hot receivers",
+    ))
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    ns = [int(x) for x in args.ns.split(",")]
+    rows = []
+    for alpha in (float(a) for a in args.alphas.split(",")):
+        steps = []
+        for n in ns:
+            scheme = HMOS(n=n, alpha=alpha, q=args.q, k=args.k)
+            proto = AccessProtocol(scheme, engine="model")
+            adv = module_collision_requests(scheme, n)
+            steps.append(proto.read(adv).total_steps)
+        fit = fit_power_law(np.array(ns, float), np.array(steps))
+        rows.append([alpha, *(f"{s:.0f}" for s in steps), f"{fit.exponent:.3f}"])
+    print(format_table(
+        ["alpha", *(f"T({n})" for n in ns), "exponent"],
+        rows,
+        title="Adversarial-workload scaling (model engine)",
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    program = assemble(source)
+    scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
+    machine = PRAMMachine(MeshBackend(scheme, engine=args.engine), args.n)
+    if args.data:
+        machine.scatter(0, np.array([int(x) for x in args.data.split(",")]))
+    state = Interpreter(machine).run(program)
+    print(f"halted after {state.rounds} rounds "
+          f"({state.read_steps} read + {state.write_steps} write steps, "
+          f"{machine.cost:.0f} mesh steps)")
+    if args.dump:
+        count = int(args.dump)
+        print("MEM[0:%d] = %s" % (count, machine.gather(0, count).tolist()))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import list_table, run
+
+    if args.run:
+        return run(args.run)
+    print(list_table())
+    print("\nRun with: python -m repro experiments --run E4 E8   (or pytest benchmarks/)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constructive deterministic PRAM simulation on a mesh "
+        "(Pietracaprina, Pucci, Sibeyn; SPAA 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print the HMOS structure")
+    _add_scheme_args(p)
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("step", help="simulate one PRAM memory step")
+    _add_scheme_args(p)
+    p.add_argument("--engine", choices=["cycle", "model"], default="cycle")
+    p.add_argument("--workload", choices=["uniform", "adversarial"], default="uniform")
+    p.add_argument("--op", choices=["read", "write"], default="read")
+    p.set_defaults(fn=_cmd_step)
+
+    p = sub.add_parser("route", help="compare routing strategies")
+    p.add_argument("--side", type=int, default=16)
+    p.add_argument("--submeshes", type=int, default=16)
+    p.add_argument("--hot", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_route)
+
+    p = sub.add_parser("scaling", help="measured scaling exponents")
+    p.add_argument("--ns", default="256,1024,4096")
+    p.add_argument("--alphas", default="1.5,2.0")
+    p.add_argument("--q", type=int, default=3)
+    p.add_argument("--k", type=int, default=2)
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("experiments", help="list or run the E1..E17 experiments")
+    p.add_argument("--run", nargs="*", metavar="EID",
+                   help="experiment ids to execute (default: list only)")
+    p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("run", help="run a PRAM assembly program on the mesh")
+    p.add_argument("file", help="assembly file, or - for stdin")
+    _add_scheme_args(p)
+    p.add_argument("--engine", choices=["cycle", "model"], default="model")
+    p.add_argument("--data", help="comma-separated ints preloaded at MEM[0]")
+    p.add_argument("--dump", help="print MEM[0:N] after the run")
+    p.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Fault-aware copy selection (extension of procedure CULLING).
+
+With some copies unavailable, the invariant "``C_v^0`` is a level-0
+target set" may be unattainable: the starting strength is lowered per
+variable to the strongest level its surviving copies still support, and
+each CULLING iteration simply keeps the previous selection for variables
+whose current set cannot yet be tightened to the iteration's level.
+Variables without even a level-k target set are *unrecoverable* and
+reported; everything else keeps full read/write consistency (any two
+target sets intersect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.culling.procedure import CullingResult, IterationStats, _mark_with_cap
+from repro.hmos.copytree import access_mask, extract_min_target_set
+from repro.hmos.scheme import HMOS
+from repro.mesh.costmodel import CostModel
+
+__all__ = ["FaultyCullingResult", "cull_with_faults"]
+
+
+@dataclass(frozen=True)
+class FaultyCullingResult(CullingResult):
+    """CULLING output plus fault bookkeeping."""
+
+    start_levels: np.ndarray = None  # type: ignore[assignment]
+
+
+def cull_with_faults(
+    scheme: HMOS,
+    variables: np.ndarray,
+    allowed: np.ndarray,
+    *,
+    cost_model: CostModel | None = None,
+) -> FaultyCullingResult:
+    """CULLING restricted to the available copies.
+
+    Parameters
+    ----------
+    allowed : bool array, shape (N, q^k)
+        Copy availability (see :meth:`FaultInjector.allowed_mask`).
+
+    Raises
+    ------
+    RuntimeError
+        If any requested variable has no surviving level-k target set
+        (unrecoverable); the message lists the casualties.
+    """
+    params = scheme.params
+    variables = np.asarray(variables, dtype=np.int64)
+    if np.unique(variables).size != variables.size:
+        raise ValueError("request set must contain distinct variables")
+    allowed = np.asarray(allowed, dtype=bool)
+    n_req = variables.size
+    red = params.redundancy
+    if allowed.shape != (n_req, red):
+        raise ValueError(f"allowed must have shape ({n_req}, {red})")
+    cost_model = cost_model or CostModel()
+    q, k = params.q, params.k
+
+    # Starting strength: strongest (lowest) level each variable supports.
+    start_levels = np.full(n_req, -1, dtype=np.int64)
+    for level in range(k, -1, -1):
+        ok = access_mask(allowed, q, k, level)
+        start_levels[ok] = level
+    dead = start_levels < 0
+    if dead.any():
+        raise RuntimeError(
+            f"{int(dead.sum())} variable(s) unrecoverable after failures: "
+            f"{variables[dead][:10].tolist()}"
+        )
+
+    selected = np.zeros((n_req, red), dtype=bool)
+    for level in range(k + 1):
+        rows = start_levels == level
+        if rows.any():
+            feas, chosen, _ = extract_min_target_set(
+                allowed[rows], allowed[rows], q, k, level
+            )
+            assert feas.all()
+            selected[rows] = chosen
+
+    v_grid = np.repeat(variables, red)
+    p_grid = np.tile(np.arange(red, dtype=np.int64), n_req)
+    chains = scheme.placement.chains(v_grid, p_grid).reshape(n_req, red, k)
+
+    stats: list[IterationStats] = []
+    charged = 0.0
+    for level in range(1, k + 1):
+        cap = params.culling_cap(level)
+        keys = scheme.placement.page_keys(
+            level, v_grid, p_grid, chains=chains.reshape(-1, k)
+        ).reshape(n_req, red)
+        marked = _mark_with_cap(keys, selected, cap)
+        feasible, chosen, added = extract_min_target_set(
+            marked & selected, selected, q, k, level
+        )
+        # Variables too damaged for this level keep their selection.
+        keep = ~feasible
+        chosen[keep] = selected[keep]
+        selected = chosen
+        sel_keys = keys[selected]
+        max_load = int(np.bincount(sel_keys).max()) if sel_keys.size else 0
+        stats.append(
+            IterationStats(
+                level=level,
+                cap=cap,
+                marked=int(marked.sum()),
+                augmented_variables=int((added[feasible] > 0).sum()),
+                augmented_copies=int(added[feasible].sum()),
+                max_page_load=max_load,
+            )
+        )
+        charged += cost_model.sort_steps(red, params.n) + red
+
+    return FaultyCullingResult(
+        variables=variables,
+        selected=selected,
+        iterations=tuple(stats),
+        charged_steps=charged,
+        start_levels=start_levels,
+    )

@@ -1,0 +1,109 @@
+"""Registry of the reproduction experiments (E1..E17).
+
+The experiment *implementations* live in ``benchmarks/`` (one
+pytest-benchmark file each, so tables and shape assertions run under
+``pytest benchmarks/ --benchmark-only``); this module is the
+programmatic index: what each experiment claims, where it lives, and a
+runner that invokes the suite with the right filters.
+
+``python -m repro experiments`` lists them;
+``python -m repro experiments --run E4 E8`` executes a subset.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["EXPERIMENTS", "ExperimentInfo", "list_table", "run"]
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """One experiment's registry entry."""
+
+    eid: str
+    claim: str
+    source: str  # paper locus
+    bench: str  # file under benchmarks/
+
+
+EXPERIMENTS: dict[str, ExperimentInfo] = {
+    info.eid: info
+    for info in [
+        ExperimentInfo("E1", "balanced BIBD-subgraph degrees in {floor,ceil}(qm/q^d)",
+                       "Appendix, Thm 5", "test_e01_bibd_balance.py"),
+        ExperimentInfo("E2", "strong expansion |Gamma_k(S)| = (k-1)|S|+1 exactly",
+                       "Lemma 1", "test_e02_expansion.py"),
+        ExperimentInfo("E3", "level sizes |U_i| = c n^(alpha/2^i), c in [q/2, q^3]",
+                       "Eq. (1)", "test_e03_level_sizes.py"),
+        ExperimentInfo("E4", "post-CULLING page congestion <= 4 q^k n^(1-1/2^i)",
+                       "Thm 3", "test_e04_culling_bound.py"),
+        ExperimentInfo("E5", "CULLING time ~ k q^k sqrt(n)",
+                       "Eq. (2)", "test_e05_culling_time.py"),
+        ExperimentInfo("E6", "(l1,l2)-routing within sqrt(l1 l2 n) + O(l1 sqrt(n))",
+                       "Thm 2", "test_e06_routing_bound.py"),
+        ExperimentInfo("E7", "(l1,l2,delta,m)-routing crossover vs direct",
+                       "Sec. 2", "test_e07_submesh_routing.py"),
+        ExperimentInfo("E8", "T_sim(n) exponents per alpha regime (headline)",
+                       "Thms 1/4", "test_e08_simulation_scaling.py"),
+        ExperimentInfo("E9", "polylog-redundancy regime: q^k and T/sqrt(n) polylog",
+                       "Thm 4", "test_e09_polylog_regime.py"),
+        ExperimentInfo("E10", "worst case vs single-copy/hashed/MV84/UW87 baselines",
+                       "Sec. 1 motivation", "test_e10_baselines.py"),
+        ExperimentInfo("E11", "HMOS structure diagram regenerated",
+                       "Figure 1", "test_e11_figure1.py"),
+        ExperimentInfo("E12", "read-after-write consistency, zero stale reads",
+                       "Definition 2", "test_e12_consistency.py"),
+        ExperimentInfo("E13", "ablation: PP93a on MPC vs full HMOS on mesh",
+                       "[PP93a] lineage", "test_e13_mpc_ablation.py"),
+        ExperimentInfo("E14", "ablation: depth k / redundancy trade-off",
+                       "Thm 4 parameter choice", "test_e14_redundancy_tradeoff.py"),
+        ExperimentInfo("E15", "application suite: PRAM programs at predicted cost",
+                       "end-to-end", "test_e15_applications.py"),
+        ExperimentInfo("E16", "ablation: Morton vs Hilbert vs row tessellation",
+                       "design choice", "test_e16_curve_ablation.py"),
+        ExperimentInfo("E17", "q = 3 minimizes redundancy and the time bound",
+                       "Thm 4 proof", "test_e17_q_choice.py"),
+    ]
+}
+
+
+def _benchmarks_dir() -> Path:
+    """Locate benchmarks/ relative to an editable checkout."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        cand = parent / "benchmarks"
+        if (cand / "conftest.py").exists():
+            return cand
+    raise FileNotFoundError(
+        "benchmarks/ directory not found; run from a source checkout"
+    )
+
+
+def list_table() -> str:
+    """Formatted registry listing."""
+    from repro.util import format_table
+
+    rows = [[e.eid, e.source, e.claim] for e in EXPERIMENTS.values()]
+    return format_table(["id", "paper locus", "claim"], rows,
+                        title="Reproduction experiments (see EXPERIMENTS.md)")
+
+
+def run(ids: list[str] | None = None, *, extra_args: list[str] | None = None) -> int:
+    """Execute experiments through pytest; returns the exit code."""
+    bench_dir = _benchmarks_dir()
+    targets = []
+    if ids:
+        for eid in ids:
+            key = eid.upper()
+            if key not in EXPERIMENTS:
+                raise KeyError(f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}")
+            targets.append(str(bench_dir / EXPERIMENTS[key].bench))
+    else:
+        targets.append(str(bench_dir))
+    cmd = [sys.executable, "-m", "pytest", *targets, "--benchmark-only", "-q", "-s"]
+    cmd.extend(extra_args or [])
+    return subprocess.call(cmd)

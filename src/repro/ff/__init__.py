@@ -1,0 +1,32 @@
+"""Finite field arithmetic GF(p^m) for small prime powers.
+
+The BIBD construction underlying the HMOS (see :mod:`repro.bibd`) is the
+point/line design of the affine space AG(d, q) and therefore needs full
+field arithmetic for every prime-power replication factor ``q`` (q = 3, 4,
+5, 7, 8, 9, ...).  Elements of GF(p^m) are encoded as integers in
+``[0, q)`` whose base-``p`` digits are the coefficients of the residue
+polynomial; all operations are table-driven and NumPy-vectorized since the
+fields in play are tiny while the operand arrays (one entry per memory
+copy) are large.
+"""
+
+from repro.ff.field import GF, get_field
+from repro.ff.polynomial import (
+    find_irreducible,
+    is_irreducible,
+    poly_divmod,
+    poly_mul,
+)
+from repro.ff.primes import factor_prime_power, is_prime, is_prime_power
+
+__all__ = [
+    "GF",
+    "get_field",
+    "find_irreducible",
+    "is_irreducible",
+    "poly_divmod",
+    "poly_mul",
+    "factor_prime_power",
+    "is_prime",
+    "is_prime_power",
+]

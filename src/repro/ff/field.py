@@ -1,0 +1,181 @@
+"""Table-driven finite fields GF(p^m).
+
+A field element is an integer in ``[0, q)`` whose base-``p`` digits are the
+coefficients (LSD first) of its residue polynomial modulo a fixed monic
+irreducible.  Addition and multiplication are precomputed as ``q x q``
+tables, so every field operation on NumPy arrays is a single fancy-index —
+the idiomatic way to keep the inner loops of the memory-map computation
+vectorized.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.ff.polynomial import find_irreducible, poly_divmod, poly_mul, poly_trim
+from repro.ff.primes import factor_prime_power
+from repro.util.intmath import digits_from_int, int_from_digits
+
+__all__ = ["GF", "get_field"]
+
+ArrayLike = "int | np.ndarray"
+
+
+class GF:
+    """The finite field with ``q = p**m`` elements.
+
+    All operations accept Python ints or integer NumPy arrays and return
+    ``np.int64`` scalars/arrays.  Operands are validated to lie in
+    ``[0, q)`` — an out-of-range "element" is always a bug upstream.
+
+    Attributes
+    ----------
+    q, p, m : int
+        Field order, characteristic and extension degree.
+    modulus : np.ndarray
+        Coefficients (LSD first) of the monic irreducible used for the
+        extension (``x`` for prime fields, degree-1 dummy).
+    """
+
+    def __init__(self, q: int):
+        self.q = int(q)
+        self.p, self.m = factor_prime_power(self.q)
+        self.modulus = find_irreducible(self.p, self.m)
+        self._add, self._mul = self._build_tables()
+        self._inv = self._build_inverses()
+        self._neg = self._add.argmin(axis=1).astype(np.int64)
+        # argmin finds, per row a, the b with a + b == 0, i.e. -a.
+
+    # -- construction -----------------------------------------------------
+
+    def _element_poly(self, value: int) -> np.ndarray:
+        return digits_from_int(value, self.p, self.m)
+
+    def _poly_element(self, poly: np.ndarray) -> int:
+        poly = poly_trim(poly)
+        padded = np.zeros(self.m, dtype=np.int64)
+        padded[: poly.size] = poly
+        return int(int_from_digits(padded, self.p))
+
+    def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        q, p, m = self.q, self.p, self.m
+        if m == 1:
+            idx = np.arange(q, dtype=np.int64)
+            add = (idx[:, None] + idx[None, :]) % q
+            mul = (idx[:, None] * idx[None, :]) % q
+            return add, mul
+        # Extension field: digitwise addition, polynomial multiplication
+        # reduced by the modulus.
+        digits = digits_from_int(np.arange(q), p, m)  # (q, m)
+        add_digits = (digits[:, None, :] + digits[None, :, :]) % p
+        add = int_from_digits(add_digits, p)
+        mul = np.empty((q, q), dtype=np.int64)
+        polys = [self._element_poly(v) for v in range(q)]
+        for a in range(q):
+            for b in range(a, q):
+                prod = poly_mul(polys[a], polys[b], p)
+                _, rem = poly_divmod(prod, self.modulus, p)
+                val = self._poly_element(rem)
+                mul[a, b] = val
+                mul[b, a] = val
+        return add, mul
+
+    def _build_inverses(self) -> np.ndarray:
+        inv = np.zeros(self.q, dtype=np.int64)
+        for a in range(1, self.q):
+            hits = np.nonzero(self._mul[a] == 1)[0]
+            if hits.size != 1:
+                raise RuntimeError(
+                    f"element {a} of GF({self.q}) lacks a unique inverse; "
+                    "modulus is not irreducible"
+                )
+            inv[a] = hits[0]
+        return inv
+
+    # -- operations -------------------------------------------------------
+
+    def _coerce(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.int64)
+        if np.any((arr < 0) | (arr >= self.q)):
+            raise ValueError(f"operand out of range for GF({self.q})")
+        return arr
+
+    def add(self, a, b) -> np.ndarray:
+        """Field addition (elementwise, broadcasting)."""
+        return self._add[self._coerce(a), self._coerce(b)]
+
+    def sub(self, a, b) -> np.ndarray:
+        """Field subtraction ``a - b``."""
+        return self._add[self._coerce(a), self._neg[self._coerce(b)]]
+
+    def neg(self, a) -> np.ndarray:
+        """Additive inverse."""
+        return self._neg[self._coerce(a)]
+
+    def mul(self, a, b) -> np.ndarray:
+        """Field multiplication (elementwise, broadcasting)."""
+        return self._mul[self._coerce(a), self._coerce(b)]
+
+    def inv(self, a) -> np.ndarray:
+        """Multiplicative inverse; raises on any zero operand."""
+        arr = self._coerce(a)
+        if np.any(arr == 0):
+            raise ZeroDivisionError(f"0 has no inverse in GF({self.q})")
+        return self._inv[arr]
+
+    def div(self, a, b) -> np.ndarray:
+        """Field division ``a / b``; raises on any zero divisor."""
+        return self.mul(a, self.inv(b))
+
+    def power(self, a, e: int) -> np.ndarray:
+        """Exponentiation by a non-negative integer via repeated squaring."""
+        if e < 0:
+            raise ValueError("negative exponents: use inv() then power()")
+        result = np.broadcast_to(
+            np.int64(1), np.asarray(a, dtype=np.int64).shape
+        ).copy()
+        base = self._coerce(a).copy()
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def primitive_element(self) -> int:
+        """Smallest generator of the multiplicative group (deterministic)."""
+        target = self.q - 1
+        for cand in range(1, self.q):
+            order = 1
+            acc = cand
+            while acc != 1:
+                acc = int(self._mul[acc, cand])
+                order += 1
+            if order == target:
+                return cand
+        raise RuntimeError(f"GF({self.q}) has no primitive element (impossible)")
+
+    def elements(self) -> np.ndarray:
+        """All field elements ``0..q-1`` as an array."""
+        return np.arange(self.q, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF({self.q})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GF) and other.q == self.q
+
+    def __hash__(self) -> int:
+        return hash(("GF", self.q))
+
+
+@functools.lru_cache(maxsize=None)
+def get_field(q: int) -> GF:
+    """Shared, cached field instance for order ``q``.
+
+    The tables for one field are built once per process; every layer of the
+    HMOS for the same ``q`` reuses them.
+    """
+    return GF(q)

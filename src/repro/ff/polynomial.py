@@ -1,0 +1,119 @@
+"""Dense polynomial arithmetic over Z_p for building extension fields.
+
+Polynomials are 1-D NumPy int64 arrays of coefficients, least significant
+first, with no trailing-zero guarantee (use :func:`poly_trim`).  Only the
+operations needed to locate an irreducible modulus and reduce products in
+GF(p^m) are provided; degrees never exceed ~8 in this code base.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.ff.primes import is_prime
+
+__all__ = [
+    "poly_trim",
+    "poly_deg",
+    "poly_mul",
+    "poly_divmod",
+    "is_irreducible",
+    "find_irreducible",
+]
+
+
+def poly_trim(poly: np.ndarray) -> np.ndarray:
+    """Strip trailing zero coefficients (the zero polynomial becomes [])."""
+    poly = np.asarray(poly, dtype=np.int64)
+    nz = np.nonzero(poly)[0]
+    if nz.size == 0:
+        return poly[:0]
+    return poly[: nz[-1] + 1]
+
+
+def poly_deg(poly: np.ndarray) -> int:
+    """Degree of ``poly`` (-1 for the zero polynomial)."""
+    return poly_trim(poly).size - 1
+
+
+def poly_mul(a: np.ndarray, b: np.ndarray, p: int) -> np.ndarray:
+    """Product of two polynomials with coefficients reduced mod ``p``."""
+    a = poly_trim(a)
+    b = poly_trim(b)
+    if a.size == 0 or b.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.convolve(a, b) % p
+
+
+def poly_divmod(a: np.ndarray, b: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Quotient and remainder of ``a / b`` over Z_p.
+
+    ``b`` must be non-zero.  Uses schoolbook long division, adequate for
+    the tiny degrees involved.
+    """
+    if not is_prime(p):
+        raise ValueError(f"p must be prime, got {p}")
+    a = poly_trim(a) % p
+    b = poly_trim(b) % p
+    if b.size == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    lead_inv = pow(int(b[-1]), p - 2, p)
+    rem = a.astype(np.int64).copy()
+    deg_b = b.size - 1
+    if rem.size < b.size:
+        return np.zeros(0, dtype=np.int64), rem
+    quot = np.zeros(rem.size - deg_b, dtype=np.int64)
+    for shift in range(rem.size - b.size, -1, -1):
+        coeff = (rem[shift + deg_b] * lead_inv) % p
+        if coeff:
+            quot[shift] = coeff
+            rem[shift : shift + b.size] = (rem[shift : shift + b.size] - coeff * b) % p
+    return quot, poly_trim(rem)
+
+
+def _monic_polys(degree: int, p: int):
+    """Yield all monic polynomials of the given degree over Z_p."""
+    for coeffs in product(range(p), repeat=degree):
+        yield np.array(list(coeffs) + [1], dtype=np.int64)
+
+
+def is_irreducible(poly: np.ndarray, p: int) -> bool:
+    """Exhaustive irreducibility test over Z_p by trial division.
+
+    A polynomial of degree d is reducible iff it has a monic factor of
+    degree in [1, d // 2]; with p <= 7 and d <= 4 in practice the search
+    space is trivial.
+    """
+    poly = poly_trim(poly) % p
+    d = poly.size - 1
+    if d <= 0:
+        return False
+    if d == 1:
+        return True
+    for fd in range(1, d // 2 + 1):
+        for cand in _monic_polys(fd, p):
+            _, rem = poly_divmod(poly, cand, p)
+            if rem.size == 0:
+                return False
+    return True
+
+
+def find_irreducible(p: int, m: int) -> np.ndarray:
+    """Return the lexicographically-first monic irreducible of degree m.
+
+    Determinism matters: the field tables (and hence the entire memory
+    map) must be identical across runs and machines, so we always pick the
+    first irreducible in a fixed enumeration order.
+    """
+    if not is_prime(p):
+        raise ValueError(f"p must be prime, got {p}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if m == 1:
+        return np.array([0, 1], dtype=np.int64)
+    for cand in _monic_polys(m, p):
+        if is_irreducible(cand, p):
+            return cand
+    raise RuntimeError(f"no irreducible polynomial of degree {m} over Z_{p}")

@@ -1,0 +1,59 @@
+"""Primality and prime-power decomposition for field construction."""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "is_prime_power", "factor_prime_power"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality test.
+
+    The fields used by the simulation have q at most a few hundred, so
+    trial division is both exact and instantaneous.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def factor_prime_power(q: int) -> tuple[int, int]:
+    """Return ``(p, m)`` with ``q == p**m`` and ``p`` prime.
+
+    Raises ``ValueError`` when ``q`` is not a prime power; the caller can
+    then reject the replication factor up front instead of failing deep in
+    the table construction.
+    """
+    if q < 2:
+        raise ValueError(f"q must be >= 2, got {q}")
+    p = 2
+    while p * p <= q:
+        if q % p == 0:
+            m = 0
+            rest = q
+            while rest % p == 0:
+                rest //= p
+                m += 1
+            if rest != 1:
+                raise ValueError(f"{q} is not a prime power")
+            return p, m
+        p += 1
+    # q itself is prime.
+    return q, 1
+
+
+def is_prime_power(q: int) -> bool:
+    """Return True iff ``q`` is a prime power ``p**m`` with ``m >= 1``."""
+    try:
+        factor_prime_power(q)
+    except ValueError:
+        return False
+    return True

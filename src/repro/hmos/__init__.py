@@ -1,0 +1,52 @@
+"""The Hierarchical Memory Organization Scheme (Section 3.1) — the paper's
+primary contribution.
+
+Layers
+------
+* :mod:`repro.hmos.params` — derives the level structure d_i, m_i, p_i,
+  t_i (Eqs. 1, 3, 4) from ``(n, alpha, q, k)`` and validates the paper's
+  feasibility conditions.
+* :mod:`repro.hmos.copytree` — the labelled q-ary copy trees T_v:
+  majority / extensive access (Definition 2 and the level-i refinement),
+  target-set recognition and minimal target-set extraction, vectorized
+  over many variables at once.
+* :mod:`repro.hmos.placement` — maps every copy to a physical mesh node
+  through the nested tessellations, entirely with O(1) arithmetic per
+  copy (the "efficient memory map" claim of [PP93a]).
+* :mod:`repro.hmos.memory` — timestamped physical storage of copies and
+  majority-retrieval reads.
+* :mod:`repro.hmos.scheme` — the :class:`HMOS` facade tying the above
+  together; this is the main entry point of the public API.
+"""
+
+from repro.hmos.adversary import majority_collision_requests, module_collision_requests
+from repro.hmos.faults import FaultInjector, write_survives
+from repro.hmos.copytree import (
+    access_mask,
+    extract_min_target_set,
+    is_target_set,
+    majority,
+    supermajority,
+    target_set_size,
+)
+from repro.hmos.memory import CopyMemory
+from repro.hmos.params import HMOSParams
+from repro.hmos.placement import Placement
+from repro.hmos.scheme import HMOS
+
+__all__ = [
+    "HMOS",
+    "CopyMemory",
+    "FaultInjector",
+    "HMOSParams",
+    "Placement",
+    "access_mask",
+    "extract_min_target_set",
+    "is_target_set",
+    "majority",
+    "majority_collision_requests",
+    "module_collision_requests",
+    "supermajority",
+    "target_set_size",
+    "write_survives",
+]

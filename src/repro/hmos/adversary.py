@@ -1,0 +1,98 @@
+"""Adversarial request sets against the HMOS itself.
+
+The strongest structural attack available against the memory map: choose
+variables that are *all incident to one level-1 module* (lines through a
+single point of the level-1 BIBD).  Every one of them keeps one copy in
+that module, so before culling the module's pages face up to ``count``
+requests — the situation Theorem 3's congestion bound (and CULLING's
+marking caps) exists to defuse.  Experiments E4 and E8 use these sets to
+measure the *worst-case* behaviour the theorems actually claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmos.scheme import HMOS
+
+__all__ = ["module_collision_requests", "majority_collision_requests"]
+
+
+def module_collision_requests(
+    scheme: HMOS, count: int, *, module: int = 0
+) -> np.ndarray:
+    """``count`` distinct variables all having a copy in one level-1 module.
+
+    Starts from the lines through ``module`` (the BIBD point's full
+    degree) and, if more are needed, continues with modules
+    ``module + 1, ...`` — the attack stays maximally concentrated.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if count > scheme.params.n:
+        raise ValueError("a PRAM step has at most n requests")
+    graph = scheme.placement.graphs[0]
+    picked: list[np.ndarray] = []
+    total = 0
+    u = module
+    seen: set[int] = set()
+    while total < count:
+        if u >= graph.num_outputs:
+            raise ValueError("not enough variables to build the request set")
+        vars_u = graph.adjacent_inputs(u % graph.num_outputs)
+        fresh = np.array(
+            [v for v in vars_u.tolist() if v not in seen], dtype=np.int64
+        )
+        seen.update(fresh.tolist())
+        picked.append(fresh)
+        total += fresh.size
+        u += 1
+    return np.concatenate(picked)[:count]
+
+
+def majority_collision_requests(
+    scheme: HMOS, count: int, *, module_pool: int | None = None
+) -> np.ndarray:
+    """Variables with >= 2 level-1 copies among a small pool of modules.
+
+    The *geographic* adversary: by the lambda = 1 property, every pair of
+    level-1 modules determines exactly one variable whose line passes
+    through both — so a pool of r modules yields ~r^2/2 variables, each
+    forced to access the pool no matter which majority its copy
+    selection picks (for q = 3, any 2-of-3 majority hits the pool when 2
+    of the 3 copies lie in it).  Aimed at the ``count`` lowest module
+    ids, whose pages are physically co-located (module ids are assigned
+    to consecutive Morton ranges), this concentrates unavoidable traffic
+    in one corner of the mesh — the situation the hierarchical
+    tessellations exist to manage.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if count > scheme.params.n:
+        raise ValueError("a PRAM step has at most n requests")
+    graph = scheme.placement.graphs[0]
+
+    def pool_variables(pool: int) -> np.ndarray:
+        u1, u2 = np.triu_indices(pool, k=1)
+        lines = graph.design.line_through(u1.astype(np.int64), u2.astype(np.int64))
+        variables = np.unique(lines)
+        return variables[variables < scheme.num_variables]
+
+    if module_pool is None:
+        # Grow the pool until enough distinct lines exist (several pairs
+        # can lie on the same line, so the pair count overestimates).
+        module_pool = 3
+        while module_pool * (module_pool - 1) // 2 < count:
+            module_pool += 1
+        while (
+            module_pool < graph.num_outputs
+            and pool_variables(module_pool).size < count
+        ):
+            module_pool = min(graph.num_outputs, module_pool * 2)
+    module_pool = min(module_pool, graph.num_outputs)
+    variables = pool_variables(module_pool)
+    if variables.size < count:
+        raise ValueError(
+            f"pool of {module_pool} modules yields only {variables.size} variables"
+        )
+    return variables[:count]

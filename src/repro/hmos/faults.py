@@ -1,0 +1,97 @@
+"""Node-failure injection for the HMOS (extension beyond the paper).
+
+The majority machinery the paper uses for *consistency* also provides
+*fault tolerance* for free: any two target sets of a copy tree intersect
+(the standard quorum argument), so as long as both a write and a later
+read can still assemble target sets from the surviving copies, the read
+returns the newest value — no matter which nodes failed in between.
+
+:class:`FaultInjector` tracks failed mesh nodes and translates them into
+per-variable availability masks; the fault-aware culling in
+:mod:`repro.culling.faults` consumes those masks.  The congestion bound
+of Theorem 3 degrades gracefully (failed pages push load onto survivors)
+— this module is an *extension*, documented as such in DESIGN.md.
+
+Freshness theorem (stronger than generic quorum systems): if a variable
+is *recoverable* — some target set survives — then every read is fresh.
+A surviving read target set T and any past write target set W both
+access the root, hence intersect; the intersection copy lies in T and
+is therefore a survivor carrying the written timestamp.  Unlike quorum
+systems that shrink read quorums after failures, reads here always use
+full target sets, so recoverability alone implies visibility of every
+past write (:func:`write_survives` verifies the implication's premise
+explicitly for auditing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmos.copytree import access_mask
+from repro.hmos.scheme import HMOS
+
+__all__ = ["FaultInjector", "write_survives"]
+
+
+def write_survives(
+    scheme: HMOS, written_mask: np.ndarray, allowed_mask: np.ndarray
+) -> np.ndarray:
+    """Audit hook: did any written copy survive per variable?
+
+    The freshness theorem (module docstring) guarantees this is implied
+    by recoverability — destroying *all* copies written by some target
+    set necessarily destroys every read target set too, because any two
+    target sets intersect.  This function lets tests verify that
+    implication on concrete failure patterns.
+    """
+    surviving = np.asarray(written_mask, dtype=bool) & np.asarray(
+        allowed_mask, dtype=bool
+    )
+    return surviving.any(axis=1)
+
+
+class FaultInjector:
+    """Mutable set of failed mesh nodes with availability queries."""
+
+    def __init__(self, scheme: HMOS):
+        self.scheme = scheme
+        self._failed = np.zeros(scheme.params.n, dtype=bool)
+
+    @property
+    def failed_nodes(self) -> np.ndarray:
+        """Ids of currently-failed nodes (sorted)."""
+        return np.nonzero(self._failed)[0]
+
+    def fail_nodes(self, node_ids) -> None:
+        """Mark nodes as failed (idempotent)."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if np.any((node_ids < 0) | (node_ids >= self.scheme.params.n)):
+            raise ValueError("node id out of range")
+        self._failed[node_ids] = True
+
+    def heal_nodes(self, node_ids) -> None:
+        """Bring nodes back (their copies' last values reappear —
+        timestamps make stale resurrected copies harmless)."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if np.any((node_ids < 0) | (node_ids >= self.scheme.params.n)):
+            raise ValueError("node id out of range")
+        self._failed[node_ids] = False
+
+    def allowed_mask(self, variables) -> np.ndarray:
+        """Availability of each copy of each variable; shape ``(N, q^k)``.
+
+        A copy is available iff the node storing it has not failed.
+        """
+        variables = np.asarray(variables, dtype=np.int64)
+        red = self.scheme.params.redundancy
+        v_grid = np.repeat(variables, red)
+        p_grid = np.tile(np.arange(red, dtype=np.int64), variables.size)
+        nodes = self.scheme.copy_nodes(v_grid, p_grid).reshape(variables.size, red)
+        return ~self._failed[nodes]
+
+    def recoverable(self, variables) -> np.ndarray:
+        """Whether each variable still has a (level-k) target set."""
+        params = self.scheme.params
+        return access_mask(
+            self.allowed_mask(variables), params.q, params.k, level=params.k
+        )

@@ -1,0 +1,105 @@
+"""Timestamped physical storage of copies (the [Gif79/Tho79/UW87] rule).
+
+Every copy carries ``(value, timestamp)``; a write stamps the current
+PRAM step, a read returns the value with the newest timestamp among the
+copies it reached.  Definition 2 guarantees that whenever both the write
+and the read access the root of T_v, the read sees at least one updated
+copy — the consistency property tested exhaustively in E12.
+
+Storage is a sparse map keyed by *copy id* (``variable * q^k + path``):
+the simulated machine's memory content, not its geometry (which lives in
+:mod:`repro.hmos.placement`).  Sparse because a PRAM program touches few
+of the up-to-``n^2 q^k`` copies, and dense arrays would not scale to the
+largest experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmos.params import HMOSParams
+
+__all__ = ["CopyMemory"]
+
+_UNWRITTEN_TS = -1
+_DEFAULT_VALUE = 0
+
+
+class CopyMemory:
+    """Sparse ``copy id -> (value, timestamp)`` store."""
+
+    def __init__(self, params: HMOSParams):
+        self.params = params
+        self._store: dict[int, tuple[int, int]] = {}
+
+    def copy_ids(self, variables, paths) -> np.ndarray:
+        """Pack ``(variable, path)`` into the flat copy id."""
+        variables = np.asarray(variables, dtype=np.int64)
+        paths = np.asarray(paths, dtype=np.int64)
+        red = self.params.redundancy
+        if np.any((paths < 0) | (paths >= red)):
+            raise ValueError(f"path out of range [0, {red})")
+        if np.any((variables < 0) | (variables >= self.params.num_variables)):
+            raise ValueError("variable out of range")
+        return variables * red + paths
+
+    def write(self, variables, paths, values, timestamp: int) -> None:
+        """Write ``values`` to the given copies, stamping ``timestamp``."""
+        ids = self.copy_ids(variables, paths).reshape(-1)
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.int64), ids.shape
+        ).reshape(-1)
+        ts = int(timestamp)
+        store = self._store
+        for cid, val in zip(ids.tolist(), values.tolist()):
+            store[cid] = (val, ts)
+
+    def read(self, variables, paths) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(values, timestamps)`` of the given copies.
+
+        Unwritten copies read as ``(0, -1)`` — the machine's initial
+        memory image.
+        """
+        ids = self.copy_ids(variables, paths)
+        flat = ids.reshape(-1)
+        vals = np.empty(flat.shape, dtype=np.int64)
+        tss = np.empty(flat.shape, dtype=np.int64)
+        store = self._store
+        default = (_DEFAULT_VALUE, _UNWRITTEN_TS)
+        for i, cid in enumerate(flat.tolist()):
+            vals[i], tss[i] = store.get(cid, default)
+        return vals.reshape(ids.shape), tss.reshape(ids.shape)
+
+    def read_latest(self, variables, paths_matrix: np.ndarray) -> np.ndarray:
+        """Majority-rule read: newest value among each row's copies.
+
+        ``paths_matrix`` has one row per variable listing the paths
+        actually reached; returns one value per row.
+        """
+        variables = np.asarray(variables, dtype=np.int64)
+        vals, tss = self.read(variables[:, None], paths_matrix)
+        pick = np.argmax(tss, axis=1)
+        rows = np.arange(vals.shape[0])
+        return vals[rows, pick]
+
+    def read_latest_masked(self, variables, reached_mask: np.ndarray) -> np.ndarray:
+        """Majority-rule read with a boolean reached-set per variable.
+
+        ``reached_mask`` has shape ``(N, q^k)``; rows must reach at least
+        one copy.  Returns the newest reached value per row.
+        """
+        variables = np.asarray(variables, dtype=np.int64)
+        reached_mask = np.asarray(reached_mask, dtype=bool)
+        if not reached_mask.any(axis=1).all():
+            raise ValueError("every row must reach at least one copy")
+        paths = np.arange(self.params.redundancy, dtype=np.int64)
+        vals, tss = self.read(variables[:, None], paths[None, :])
+        tss = np.where(reached_mask, tss, np.int64(-2))
+        pick = np.argmax(tss, axis=1)
+        rows = np.arange(vals.shape[0])
+        return vals[rows, pick]
+
+    @property
+    def written_copies(self) -> int:
+        """Number of copies ever written (storage footprint)."""
+        return len(self._store)

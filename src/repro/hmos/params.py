@@ -1,0 +1,171 @@
+"""Derivation of the HMOS level structure from ``(n, alpha, q, k)``.
+
+Following Section 3.1: with ``q`` a prime power and ``f(s) = q^{s-1}
+(q^s - 1)/(q - 1)`` (the input count of a ``(q^s, q)``-BIBD), the level
+dimensions are::
+
+    d_1     = min { d : f(d) >= n^alpha }
+    d_{i+1} = ceil(d_i / 2) + 1
+
+and the module counts are ``|U_0| = f(d_1)`` (variables) and ``|U_i| =
+q^{d_i}``.  The paper proves ``|U_i| = c n^{alpha / 2^i}`` with
+``c in [q/2, q^3]`` (Eq. 1); experiment E3 measures exactly this.
+
+The paper assumes ``n^alpha = f(d)`` exactly; we round the memory *up* to
+the next constructible size (``num_variables = f(d_1) >= ceil(n^alpha)``),
+which only adds slack to the bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bibd.affine import bibd_num_inputs
+from repro.ff.primes import is_prime_power
+from repro.util.intmath import is_power_of, isqrt_exact
+from repro.util.validate import check_positive
+
+__all__ = ["HMOSParams"]
+
+
+@dataclass(frozen=True)
+class HMOSParams:
+    """Validated level structure of one HMOS instance.
+
+    Attributes
+    ----------
+    n : int
+        Number of mesh nodes / PRAM processors (a power-of-4 square).
+    alpha : float
+        Memory-size exponent: the PRAM shared memory holds ``~n^alpha``
+        variables (1 < alpha <= 2 per the paper).
+    q : int
+        Replication factor per level; prime power >= 3 (q = 3 minimizes
+        both time and redundancy, Theorem 4's proof).
+    k : int
+        Number of hierarchy levels (>= 1).
+    d : tuple[int, ...]
+        Level dimensions ``d_1 .. d_k`` (strictly decreasing).
+    m : tuple[int, ...]
+        Module counts ``m_0 .. m_k`` (``m_0`` = number of variables).
+    redundancy : int
+        Copies per variable, ``q^k``.
+    """
+
+    n: int
+    alpha: float
+    q: int
+    k: int
+    d: tuple[int, ...] = field(init=False)
+    m: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self):
+        check_positive("n", self.n, minimum=4)
+        side2 = isqrt_exact(self.n)  # raises if not a square
+        if not is_power_of(side2, 2):
+            raise ValueError(f"mesh side sqrt(n)={side2} must be a power of 2")
+        if not 1.0 < self.alpha <= 2.0:
+            raise ValueError(f"alpha must be in (1, 2], got {self.alpha}")
+        check_positive("q", self.q, minimum=3)
+        if not is_prime_power(self.q):
+            raise ValueError(f"q must be a prime power, got {self.q}")
+        check_positive("k", self.k)
+        target = math.ceil(self.n**self.alpha)
+        d1 = 1
+        while bibd_num_inputs(self.q, d1) < target:
+            d1 += 1
+        dims = [d1]
+        for _ in range(self.k - 1):
+            nxt = -(-dims[-1] // 2) + 1  # ceil(d_i / 2) + 1
+            if nxt >= dims[-1]:
+                raise ValueError(
+                    f"k={self.k} too deep for n={self.n}, alpha={self.alpha}: "
+                    f"level dimension stalls at d={dims[-1]} "
+                    f"(need d_i >= 4 to keep shrinking); use k <= {len(dims)}"
+                )
+            dims.append(nxt)
+        object.__setattr__(self, "d", tuple(dims))
+        mods = [bibd_num_inputs(self.q, d1)] + [self.q**di for di in dims]
+        object.__setattr__(self, "m", tuple(mods))
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def side(self) -> int:
+        """Mesh side length ``sqrt(n)``."""
+        return isqrt_exact(self.n)
+
+    @property
+    def num_variables(self) -> int:
+        """Constructible shared-memory size (``>= ceil(n^alpha)``)."""
+        return self.m[0]
+
+    @property
+    def redundancy(self) -> int:
+        """Copies per variable, ``q^k``."""
+        return self.q**self.k
+
+    @property
+    def majority(self) -> int:
+        """``floor(q/2) + 1`` — children needed for ordinary access."""
+        return self.q // 2 + 1
+
+    @property
+    def supermajority(self) -> int:
+        """``floor(q/2) + 2`` — children needed for *extensive* access."""
+        return self.q // 2 + 2
+
+    def pages_per_module(self, level: int) -> int:
+        """``q^{k - level}`` — pages of each level-``level`` module."""
+        if not 0 <= level <= self.k:
+            raise ValueError(f"level must be in [0, {self.k}]")
+        return self.q ** (self.k - level)
+
+    def num_pages(self, level: int) -> int:
+        """Total level-``level`` pages = ``m_level * q^{k - level}``."""
+        return self.m[level] * self.pages_per_module(level)
+
+    def mean_page_nodes(self, level: int) -> float:
+        """Average processors per level-``level`` page (Eq. 4's t_i).
+
+        May be < 1 for small meshes, in which case several pages share a
+        node (see :mod:`repro.hmos.placement`).
+        """
+        if not 1 <= level <= self.k:
+            raise ValueError(f"level must be in [1, {self.k}]")
+        return self.n / self.num_pages(level)
+
+    def culling_cap(self, level: int) -> int:
+        """Per-page marking cap of CULLING's iteration ``level``:
+        ``2 q^k n^{1 - 1/2^level}`` (Section 3.2)."""
+        if not 1 <= level <= self.k:
+            raise ValueError(f"level must be in [1, {self.k}]")
+        return math.ceil(2 * self.redundancy * self.n ** (1 - 0.5**level))
+
+    def theorem3_bound(self, level: int) -> float:
+        """Theorem 3's congestion bound ``4 q^k n^{1 - 1/2^level}``
+        on copies per level-``level`` page (level 0 = trivial bound n q^k)."""
+        if not 0 <= level <= self.k:
+            raise ValueError(f"level must be in [0, {self.k}]")
+        if level == 0:
+            return float(self.n * self.redundancy)
+        return 4 * self.redundancy * self.n ** (1 - 0.5**level)
+
+    def summary(self) -> str:
+        """Human-readable one-instance report (used by examples)."""
+        lines = [
+            f"HMOS(n={self.n}, alpha={self.alpha}, q={self.q}, k={self.k})",
+            f"  mesh: {self.side}x{self.side}   variables: {self.num_variables}"
+            f" (target n^alpha ~ {self.n**self.alpha:.0f})",
+            f"  redundancy: {self.redundancy} copies/variable",
+            f"  dims d_i: {list(self.d)}",
+            f"  modules m_i: {list(self.m)}",
+        ]
+        for lvl in range(1, self.k + 1):
+            lines.append(
+                f"  level {lvl}: {self.m[lvl]} modules, "
+                f"{self.num_pages(lvl)} pages, "
+                f"~{self.mean_page_nodes(lvl):.2f} nodes/page"
+            )
+        return "\n".join(lines)

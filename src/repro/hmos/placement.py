@@ -1,0 +1,185 @@
+"""Physical mapping of copies onto the mesh through nested tessellations.
+
+The HMOS is laid out exactly as Section 3.3 prescribes, in Morton-rank
+space:
+
+* the *outermost* tessellation gives each of the ``m_k`` level-k modules
+  a consecutive Morton range of ``~n/m_k`` nodes;
+* recursively, the range of a level-(i+1) page is split among the
+  ``p_{i+1}`` level-i pages it contains, each sub-range located by the
+  page's *rank* — the O(1) closed-form position of the level-i module
+  among the module's BIBD-neighbors (Eq. 3 guarantees the near-even
+  split);
+* inside its level-1 page, a variable's copy sits at the sub-position
+  given by its rank among the module's ``p_1`` copies.
+
+To support meshes too small for every page to own a whole processor
+(t_i < 1 — the paper assumes n large enough that t_i >= 1, see
+DESIGN.md), ranges are maintained in *virtual* coordinates: ``SCALE``
+units per node.  Page ranges may then be narrower than one node, in
+which case several pages simply share it; all index arithmetic stays in
+exact int64.
+
+Every query is vectorized and O(k) arithmetic per copy with no stored
+adjacency — the constant-internal-storage memory map claimed by the
+paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bibd.subgraph import BalancedSubgraph
+from repro.hmos.params import HMOSParams
+from repro.mesh.topology import Mesh
+from repro.util.intmath import digits_from_int
+
+__all__ = ["Placement", "SCALE"]
+
+SCALE = 1 << 16  # virtual units per mesh node
+
+
+class Placement:
+    """Copy -> mesh-node map for one HMOS instance."""
+
+    def __init__(self, params: HMOSParams, mesh: Mesh | None = None):
+        self.params = params
+        self.mesh = mesh if mesh is not None else Mesh(params.side)
+        if self.mesh.n != params.n:
+            raise ValueError(
+                f"mesh has {self.mesh.n} nodes but params expect {params.n}"
+            )
+        q, k = params.q, params.k
+        # graphs[i] is the bipartite graph U_i -> U_{i+1}: a balanced
+        # subgraph of the (q^{d_{i+1}}, q)-BIBD keeping m_i inputs.
+        # For i = 0 (variables -> level-1 modules) the subgraph is the
+        # full design since m_0 = f(d_1).
+        self.graphs = [
+            BalancedSubgraph(q, params.d[i], params.m[i]) for i in range(k)
+        ]
+        for i, g in enumerate(self.graphs):
+            if g.num_outputs != params.m[i + 1]:
+                raise AssertionError(
+                    f"level-{i + 1} graph outputs {g.num_outputs} != m={params.m[i + 1]}"
+                )
+        self._virtual_total = params.n * SCALE
+
+    # -- copy tree traversal ------------------------------------------------
+
+    def path_digits(self, paths) -> np.ndarray:
+        """Path int -> branch digits ``(e_1 .. e_k)``, e_1 first."""
+        q, k = self.params.q, self.params.k
+        digits = digits_from_int(paths, q, k)  # LSD first
+        return digits[..., ::-1]
+
+    def chains(self, variables, paths) -> np.ndarray:
+        """Module chain ``(u_1, ..., u_k)`` of each copy; shape (N, k).
+
+        ``u_1`` is the level-1 module holding the copy, ``u_j`` the
+        level-j module holding the enclosing level-(j-1) page.
+        """
+        variables = np.asarray(variables, dtype=np.int64)
+        paths = np.asarray(paths, dtype=np.int64)
+        variables, paths = np.broadcast_arrays(variables, paths)
+        shape = variables.shape
+        v = variables.reshape(-1)
+        e = self.path_digits(paths.reshape(-1))  # (N, k)
+        n = v.size
+        out = np.empty((n, self.params.k), dtype=np.int64)
+        cur = v
+        rows = np.arange(n)
+        for j in range(self.params.k):
+            nbrs = self.graphs[j].neighbors(cur)  # (N, q)
+            cur = nbrs[rows, e[:, j]]
+            out[:, j] = cur
+        return out.reshape(*shape, self.params.k)
+
+    # -- intervals ------------------------------------------------------------
+
+    def page_intervals(
+        self, level: int, variables, paths, chains: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Virtual interval ``[start, stop)`` of each copy's level-``level``
+        page (level k = outermost module range; level 0 = the copy itself).
+        """
+        params = self.params
+        k = params.k
+        if not 0 <= level <= k:
+            raise ValueError(f"level must be in [0, {k}]")
+        variables = np.asarray(variables, dtype=np.int64).reshape(-1)
+        paths = np.asarray(paths, dtype=np.int64).reshape(-1)
+        if chains is None:
+            chains = self.chains(variables, paths)
+        chains = chains.reshape(-1, k)
+        nS = self._virtual_total
+        u_k = chains[:, k - 1]
+        start = (u_k * nS) // params.m[k]
+        stop = ((u_k + 1) * nS) // params.m[k]
+        # Refine: j counts the level whose page interval we are inside.
+        for j in range(k, level, -1):
+            g = self.graphs[j - 1]  # U_{j-1} -> U_j
+            u_j = chains[:, j - 1]
+            inner = chains[:, j - 2] if j >= 2 else variables
+            parts = g.output_degree(u_j)
+            rank = g.input_rank_at_output(inner, u_j)
+            size = stop - start
+            new_start = start + (rank * size) // parts
+            stop = start + ((rank + 1) * size) // parts
+            start = new_start
+        return start, stop
+
+    def copy_nodes(self, variables, paths, chains: np.ndarray | None = None) -> np.ndarray:
+        """Mesh node id storing each copy."""
+        start, _ = self.page_intervals(0, variables, paths, chains)
+        ranks = start // SCALE
+        return self.mesh.node_of_rank(ranks)
+
+    def page_node_spans(
+        self, level: int, variables, paths, chains: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Morton-rank node span ``[first, last]`` of each copy's
+        level-``level`` page (inclusive; possibly a single node)."""
+        start, stop = self.page_intervals(level, variables, paths, chains)
+        first = start // SCALE
+        last = np.maximum(first, (stop - 1) // SCALE)
+        return first, last
+
+    # -- identifiers ----------------------------------------------------------
+
+    def page_keys(
+        self, level: int, variables, paths, chains: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Globally unique id of each copy's level-``level`` page.
+
+        A level-i page is determined by its module ``u_i`` plus the branch
+        digits ``(e_{i+1}, ..., e_k)`` selecting which replica chain it
+        lies on; the key packs both into one int64.
+        """
+        params = self.params
+        k, q = params.k, params.q
+        if not 1 <= level <= k:
+            raise ValueError(f"level must be in [1, {k}]")
+        variables = np.asarray(variables, dtype=np.int64)
+        paths = np.asarray(paths, dtype=np.int64)
+        if chains is None:
+            chains = self.chains(variables, paths)
+        u = chains[..., level - 1]
+        suffix = paths % q ** (k - level)
+        return u * q ** (k - level) + suffix
+
+    def storage_count_per_node(self) -> np.ndarray:
+        """Copies stored on each node (exhaustive; small instances only).
+
+        Used by capacity audits: with ``m_0`` variables and redundancy
+        ``q^k`` this enumerates ``m_0 q^k`` copies.
+        """
+        params = self.params
+        total = params.num_variables * params.redundancy
+        if total > 8_000_000:
+            raise ValueError(
+                f"refusing to enumerate {total} copies; use a smaller instance"
+            )
+        v = np.repeat(np.arange(params.num_variables), params.redundancy)
+        p = np.tile(np.arange(params.redundancy), params.num_variables)
+        nodes = self.copy_nodes(v, p)
+        return np.bincount(nodes, minlength=params.n)

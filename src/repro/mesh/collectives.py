@@ -1,0 +1,92 @@
+"""Collective operations on the mesh with exact step accounting.
+
+The building blocks classic mesh algorithms (including the sorting and
+routing procedures the paper cites) are composed of: broadcast from one
+node, global reduction, and prefix scan in snake order.  All three run
+in Theta(side) steps on an ``side x side`` mesh by row/column sweeps —
+the step counts here are the exact sweep schedule lengths, and the
+values are computed by the equivalent vectorized operations (the sweep
+schedules are oblivious).
+
+These are also the primitives the CULLING procedure's "each processor
+must check / extract" phases would use in a physical implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.mesh.sorting import snake_order
+from repro.mesh.topology import Mesh
+
+__all__ = ["broadcast", "reduce_all", "scan_snake"]
+
+
+def broadcast(mesh: Mesh, root: int, value: int) -> tuple[np.ndarray, int]:
+    """One-to-all broadcast: root's value to every node.
+
+    Schedule: propagate along the root's row, then down all columns —
+    each node receives the value in at most ``(side-1) + (side-1)``
+    steps; the makespan is the root's worst L1 eccentricity.
+
+    Returns ``(values, steps)``.
+    """
+    if not 0 <= root < mesh.n:
+        raise ValueError("root out of range")
+    row, col = (int(x) for x in mesh.coords(root))
+    side = mesh.side
+    # Row sweep completes when the farthest column got it; column sweeps
+    # start pipelined one step after a column is reached.
+    row_time = max(col, side - 1 - col)
+    col_time = max(row, side - 1 - row)
+    steps = row_time + col_time
+    values = np.full(mesh.n, value, dtype=np.int64)
+    return values, steps
+
+
+def reduce_all(
+    mesh: Mesh, values: np.ndarray, op: Callable = np.add
+) -> tuple[int, int]:
+    """All-to-one reduction to node 0 (row sweeps then column sweep).
+
+    Each row folds rightward into column 0 (``side - 1`` steps, all rows
+    in parallel), then column 0 folds upward (``side - 1`` steps).
+
+    Returns ``(result_at_root, steps)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.shape != (mesh.n,):
+        raise ValueError(f"need one value per node ({mesh.n},)")
+    side = mesh.side
+    grid = values.reshape(side, side)
+    row_folded = op.reduce(grid, axis=1)
+    total = op.reduce(row_folded)
+    steps = 2 * (side - 1)
+    return int(total), steps
+
+
+def scan_snake(
+    mesh: Mesh, values: np.ndarray, op: Callable = np.add
+) -> tuple[np.ndarray, int]:
+    """Inclusive prefix scan in snake order.
+
+    Three sweeps: scan each row (snake directions), carry the row totals
+    down the last column, then add each row's incoming carry — the
+    standard Theta(side) mesh scan.
+
+    Returns ``(scanned_values_per_node, steps)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.shape != (mesh.n,):
+        raise ValueError(f"need one value per node ({mesh.n},)")
+    side = mesh.side
+    order = snake_order(side)
+    seq = values[order]
+    scanned = op.accumulate(seq)
+    out = np.empty(mesh.n, dtype=np.int64)
+    out[order] = scanned
+    # Row scans (side-1), carry chain down (side-1), apply (side-1).
+    steps = 3 * (side - 1)
+    return out, steps

@@ -1,0 +1,69 @@
+"""Analytic step accounting with the bounds the paper cites.
+
+For scaling sweeps beyond what the cycle-accurate engine can execute, the
+protocol charges each phase with the published worst-case costs:
+
+* ``(l1, l2)``-routing on a ``t``-node (sub)mesh:
+  ``sqrt(l1 l2 t) + c_route * l1 * sqrt(t)``            (Theorem 2, [SK93])
+* sorting/ranking ``l1`` packets per node: ``c_sort * l1 * sqrt(t)``
+  ([KSS94, Kun93])
+
+The constants ``c_route``/``c_sort`` default to 1 (the paper works in
+O-notation); experiment E6 calibrates them against the cycle-accurate
+engine so that model and measurement agree on small meshes before the
+model is trusted on large ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Closed-form step charges for sorting and routing phases.
+
+    Attributes
+    ----------
+    c_sort : float
+        Constant in the ``l1 sqrt(t)`` sorting/ranking charge.
+    c_route : float
+        Constant of the additive ``l1 sqrt(t)`` term of Theorem 2.
+    """
+
+    c_sort: float = 1.0
+    c_route: float = 1.0
+
+    def sort_steps(self, l1: float, t: float) -> float:
+        """Charge for sorting/ranking ``l1`` packets per node on ``t`` nodes."""
+        if t <= 0:
+            raise ValueError(f"t must be positive, got {t}")
+        return self.c_sort * max(l1, 1.0) * math.sqrt(t)
+
+    def route_steps(self, l1: float, l2: float, t: float) -> float:
+        """Theorem 2 charge for an ``(l1, l2)``-routing on ``t`` nodes."""
+        if t <= 0:
+            raise ValueError(f"t must be positive, got {t}")
+        l1 = max(l1, 0.0)
+        l2 = max(l2, 0.0)
+        return math.sqrt(l1 * l2 * t) + self.c_route * max(l1, 1.0) * math.sqrt(t)
+
+    def submesh_route_steps(
+        self, l1: float, l2: float, delta: float, t: float, m: float
+    ) -> float:
+        """Section 2's ``(l1, l2, delta, m)``-routing charge.
+
+        Sort+rank, route to destination submeshes (receivers see at most
+        ``delta`` each), then route within submeshes of ``m`` nodes:
+        ``O(sqrt(delta) (sqrt(l1 t) + sqrt(l2 m)))`` plus lower-order
+        terms, charged exactly as the paper composes them.
+        """
+        if not 0 < m <= t:
+            raise ValueError(f"need 0 < m <= t, got m={m}, t={t}")
+        total = self.sort_steps(l1, t)
+        total += self.route_steps(l1, delta, t)
+        total += self.route_steps(delta, l2, m)
+        return total

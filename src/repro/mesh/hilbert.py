@@ -1,0 +1,71 @@
+"""Hilbert curve encoding (vectorized) — an alternative to Morton order.
+
+The Hilbert curve has strictly better worst-case locality than the
+Z-curve: *every* contiguous range of ``t`` positions spans a region of
+diameter ``O(sqrt(t))`` with a smaller constant and no Z-shaped seams.
+The placement layer can use either curve; experiment E16 measures what
+the choice is worth for the access protocol.
+
+Standard iterative rotate-and-accumulate algorithm, vectorized over
+NumPy arrays of coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hilbert_encode", "hilbert_decode"]
+
+
+def hilbert_encode(row, col, bits: int) -> np.ndarray:
+    """``(row, col)`` -> distance along the Hilbert curve of order ``bits``."""
+    x = np.asarray(col, dtype=np.int64).copy()
+    y = np.asarray(row, dtype=np.int64).copy()
+    side = np.int64(1) << bits
+    if np.any((x < 0) | (x >= side) | (y < 0) | (y >= side)):
+        raise ValueError(f"coordinates out of range for {bits} bits")
+    x, y = np.broadcast_arrays(x, y)
+    x, y = x.copy(), y.copy()
+    d = np.zeros_like(x)
+    s = side >> 1
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate quadrant so the next level is in canonical orientation.
+        flip = (ry == 0) & (rx == 1)
+        x_f = np.where(flip, s - 1 - (x & (s - 1)), x & (s - 1))
+        y_f = np.where(flip, s - 1 - (y & (s - 1)), y & (s - 1))
+        swap = ry == 0
+        x_new = np.where(swap, y_f, x_f)
+        y_new = np.where(swap, x_f, y_f)
+        x, y = x_new, y_new
+        s >>= 1
+    return d
+
+
+def hilbert_decode(dist, bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`hilbert_encode`; returns ``(row, col)``."""
+    d = np.asarray(dist, dtype=np.int64)
+    side = np.int64(1) << bits
+    if np.any((d < 0) | (d >= side * side)):
+        raise ValueError(f"distance out of range for {bits}-bit curve")
+    t = d.copy()
+    x = np.zeros_like(d)
+    y = np.zeros_like(d)
+    s = np.int64(1)
+    while s < side:
+        rx = (t // 2) & 1
+        ry = (t ^ rx) & 1
+        # Rotate back.
+        flip = (ry == 0) & (rx == 1)
+        x_r = np.where(flip, s - 1 - x, x)
+        y_r = np.where(flip, s - 1 - y, y)
+        swap = ry == 0
+        x_new = np.where(swap, y_r, x_r)
+        y_new = np.where(swap, x_r, y_r)
+        x = x_new + s * rx
+        y = y_new + s * ry
+        t //= 4
+        s <<= 1
+    return y, x

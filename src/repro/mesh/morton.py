@@ -1,0 +1,48 @@
+"""Morton (Z-order) curve encoding for square meshes.
+
+The HMOS tessellations are contiguous Morton ranges: interleaving the row
+and column bits maps 2-D locality to 1-D contiguity, so a range of ``4^b``
+aligned positions is exactly a ``2^b x 2^b`` submesh, and any range of
+``t`` positions spans a region of diameter ``O(sqrt(t))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morton_encode", "morton_decode", "MAX_BITS"]
+
+# 21 bits per coordinate keeps the interleave inside int64 (42 bits total).
+MAX_BITS = 21
+
+
+def _part_bits(v: np.ndarray, bits: int) -> np.ndarray:
+    """Spread the low ``bits`` bits of v so they occupy even positions."""
+    out = np.zeros_like(v)
+    for b in range(bits):
+        out |= ((v >> b) & 1) << (2 * b)
+    return out
+
+
+def morton_encode(row, col, bits: int = MAX_BITS) -> np.ndarray:
+    """Interleave ``(row, col)`` into the Morton rank (col = even bits)."""
+    row = np.asarray(row, dtype=np.int64)
+    col = np.asarray(col, dtype=np.int64)
+    if bits > MAX_BITS:
+        raise ValueError(f"bits must be <= {MAX_BITS}")
+    if np.any((row < 0) | (row >= 1 << bits) | (col < 0) | (col >= 1 << bits)):
+        raise ValueError(f"coordinates out of range for {bits} bits")
+    return _part_bits(col, bits) | (_part_bits(row, bits) << 1)
+
+
+def morton_decode(rank, bits: int = MAX_BITS) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`morton_encode`; returns ``(row, col)``."""
+    rank = np.asarray(rank, dtype=np.int64)
+    if np.any((rank < 0) | (rank >= 1 << (2 * bits))):
+        raise ValueError(f"rank out of range for {bits}-bit coordinates")
+    row = np.zeros_like(rank)
+    col = np.zeros_like(rank)
+    for b in range(bits):
+        col |= ((rank >> (2 * b)) & 1) << b
+        row |= ((rank >> (2 * b + 1)) & 1) << b
+    return row, col

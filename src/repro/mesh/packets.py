@@ -1,0 +1,64 @@
+"""Struct-of-arrays packet batches for the routing engine.
+
+A batch is the unit the engine routes: parallel int64 arrays of source and
+destination node ids plus a caller-owned tag (an index into whatever
+payload table the caller keeps).  Keeping packets columnar — rather than
+as per-packet objects — is what lets the cycle-accurate engine advance
+tens of thousands of packets per step with pure NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PacketBatch"]
+
+
+@dataclass
+class PacketBatch:
+    """A set of packets to route.
+
+    Attributes
+    ----------
+    src, dst : np.ndarray
+        Node ids (row-major linear indices) of origin and destination.
+    tag : np.ndarray
+        Caller-defined int64 payload reference, carried untouched.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    tag: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        if self.tag is None:
+            self.tag = np.arange(self.src.size, dtype=np.int64)
+        else:
+            self.tag = np.asarray(self.tag, dtype=np.int64)
+            if self.tag.shape != self.src.shape:
+                raise ValueError("tag must match src/dst length")
+
+    def __len__(self) -> int:
+        return int(self.src.size)
+
+    def max_per_source(self) -> int:
+        """l1 of the induced (l1, l2)-routing problem."""
+        if len(self) == 0:
+            return 0
+        return int(np.bincount(self.src).max())
+
+    def max_per_destination(self) -> int:
+        """l2 of the induced (l1, l2)-routing problem."""
+        if len(self) == 0:
+            return 0
+        return int(np.bincount(self.dst).max())
+
+    def reversed(self) -> "PacketBatch":
+        """The return journey: destinations become sources."""
+        return PacketBatch(self.dst.copy(), self.src.copy(), self.tag.copy())

@@ -1,0 +1,116 @@
+"""Morton-range regions and nested tessellations.
+
+A :class:`Region` is a half-open interval of Morton ranks; the paper's
+"tessellation of the mesh into submeshes" becomes a partition of
+``[0, n)`` into consecutive regions, and the nesting of level-(i+1)
+submeshes into level-i submeshes is ordinary interval refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validate import check_positive
+
+__all__ = ["Region", "Tessellation", "split_region"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """Half-open Morton-rank interval ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self):
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"invalid region [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def contains(self, ranks) -> np.ndarray:
+        """Vectorized membership test on Morton ranks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        return (ranks >= self.start) & (ranks < self.stop)
+
+    def local_index(self, ranks) -> np.ndarray:
+        """Rank -> 0-based offset within the region (must be members)."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if np.any(~self.contains(ranks)):
+            raise ValueError("rank outside region")
+        return ranks - self.start
+
+    def nth(self, offsets) -> np.ndarray:
+        """0-based offset -> Morton rank (inverse of :meth:`local_index`)."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if np.any((offsets < 0) | (offsets >= self.size)):
+            raise ValueError("offset outside region")
+        return self.start + offsets
+
+
+def split_region(region: Region, parts: int) -> list[Region]:
+    """Partition ``region`` into ``parts`` consecutive sub-regions.
+
+    Sizes differ by at most one (floor/ceil of ``size/parts``), mirroring
+    Eq. (3)'s near-even page counts.  ``parts`` may not exceed the region
+    size — every sub-region must own at least one processor.
+    """
+    check_positive("parts", parts)
+    if parts > region.size:
+        raise ValueError(
+            f"cannot split region of {region.size} nodes into {parts} parts"
+        )
+    # Exact integer boundaries: part i is [i*size//parts, (i+1)*size//parts),
+    # so all part sizes are floor or ceil of size/parts.
+    bounds = region.start + (np.arange(parts + 1, dtype=np.int64) * region.size) // parts
+    out = [Region(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]
+    assert out[-1].stop == region.stop
+    return out
+
+
+class Tessellation:
+    """A partition of ``[0, n)`` Morton ranks into consecutive regions.
+
+    Provides vectorized rank -> region-index lookup, used to map each
+    memory copy to its level-``i`` page for congestion accounting.
+    """
+
+    def __init__(self, regions: list[Region]):
+        if not regions:
+            raise ValueError("tessellation needs at least one region")
+        for prev, cur in zip(regions, regions[1:]):
+            if prev.stop != cur.start:
+                raise ValueError("regions must be consecutive")
+        self.regions = list(regions)
+        self._bounds = np.array([r.start for r in regions] + [regions[-1].stop])
+
+    @classmethod
+    def uniform(cls, n: int, parts: int) -> "Tessellation":
+        """Evenly partition ``[0, n)`` into ``parts`` regions."""
+        return cls(split_region(Region(0, n), parts))
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return int(self._bounds[0]), int(self._bounds[-1])
+
+    def region_of(self, ranks) -> np.ndarray:
+        """Morton rank -> index of the containing region."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        lo, hi = self.span
+        if np.any((ranks < lo) | (ranks >= hi)):
+            raise ValueError("rank outside tessellation span")
+        return np.searchsorted(self._bounds, ranks, side="right") - 1
+
+    def max_region_size(self) -> int:
+        return max(r.size for r in self.regions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tessellation({self.num_regions} regions over {self.span})"

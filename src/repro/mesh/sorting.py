@@ -1,0 +1,72 @@
+"""Deterministic sorting on the mesh (shearsort) with step accounting.
+
+The access protocol's stages begin by sorting packets by destination
+submesh.  The paper charges ``O(l1 sqrt(n))`` for this via [KSS94, Kun93];
+we implement classic shearsort — rows and columns alternately sorted into
+a snake order — which achieves ``O(sqrt(n) log n)`` for one packet per
+node and whose measured step counts back the cost model's sorting charge
+(the extra log factor is reported, not hidden; see EXPERIMENTS.md).
+
+Step accounting: sorting one row/column of length ``s`` by odd-even
+transposition takes exactly ``s`` compare-exchange steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.topology import Mesh
+from repro.util.intmath import ceil_log
+
+__all__ = ["odd_even_transposition_steps", "shearsort", "shearsort_steps", "snake_order"]
+
+
+def odd_even_transposition_steps(length: int) -> int:
+    """Steps for odd-even transposition sort of a ``length`` linear array."""
+    return int(length)
+
+
+def shearsort_steps(side: int) -> int:
+    """Synchronous steps shearsort takes on a ``side x side`` mesh.
+
+    ``ceil(log2 side) + 1`` phases of (row sort + column sort), where the
+    final phase needs only its row sort.
+    """
+    phases = ceil_log(side, 2) + 1
+    return (phases - 1) * 2 * side + side
+
+
+def snake_order(side: int) -> np.ndarray:
+    """Row-major node ids listed in boustrophedon (snake) order."""
+    ids = np.arange(side * side, dtype=np.int64).reshape(side, side)
+    ids[1::2] = ids[1::2, ::-1]
+    return ids.reshape(-1)
+
+
+def shearsort(mesh: Mesh, values: np.ndarray) -> tuple[np.ndarray, int]:
+    """Sort one value per node into snake order; return (values, steps).
+
+    ``values[i]`` is the key initially held by node ``i`` (row-major); the
+    result gives the key held by each node after sorting, such that
+    reading nodes in snake order yields non-decreasing keys.
+
+    The data movement is performed with NumPy row/column sorts — the
+    compare-exchange schedule is deterministic, so simulating individual
+    exchanges would produce the same permutation — while the step count is
+    the exact odd-even transposition cost of that schedule.
+    """
+    side = mesh.side
+    vals = np.asarray(values).reshape(side, side).copy()
+    if vals.size != mesh.n:
+        raise ValueError(f"need exactly {mesh.n} values")
+    phases = ceil_log(side, 2) + 1
+    steps = 0
+    for phase in range(phases):
+        # Row phase: even rows ascending, odd rows descending (snake).
+        vals.sort(axis=1)
+        vals[1::2] = vals[1::2, ::-1]
+        steps += side
+        if phase < phases - 1:
+            vals.sort(axis=0)
+            steps += side
+    return vals.reshape(-1), steps

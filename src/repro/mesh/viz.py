@@ -1,0 +1,53 @@
+"""Text rendering of per-node mesh quantities (load heatmaps).
+
+The simulator's "figures" are terminal-friendly: a density heatmap maps
+per-node values to a character ramp, one character per node, so routing
+congestion and storage balance can be eyeballed in CI logs and example
+output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.topology import Mesh
+
+__all__ = ["load_heatmap", "RAMP"]
+
+RAMP = " .:-=+*#%@"
+
+
+def load_heatmap(
+    mesh: Mesh,
+    values: np.ndarray,
+    *,
+    title: str | None = None,
+    legend: bool = True,
+) -> str:
+    """Render one value per node as an ASCII density map.
+
+    Values are scaled to the ramp ``' .:-=+*#%@'`` (space = 0, ``@`` =
+    max).  Rows of the output correspond to mesh rows.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.shape != (mesh.n,):
+        raise ValueError(f"need one value per node: shape ({mesh.n},)")
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    top = values.max()
+    if top == 0:
+        idx = np.zeros(mesh.n, dtype=np.int64)
+    else:
+        idx = np.minimum(
+            (values / top * (len(RAMP) - 1)).round().astype(np.int64),
+            len(RAMP) - 1,
+        )
+        idx[values > 0] = np.maximum(idx[values > 0], 1)  # nonzero stays visible
+    grid = np.array(list(RAMP))[idx].reshape(mesh.side, mesh.side)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in grid)
+    if legend:
+        lines.append(f"[min={values.min():.0f} max={top:.0f} ramp='{RAMP}']")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The Module Parallel Computer (MPC) and the PP93a scheme.
+
+The MPC is the idealized machine of [MV84, UW87, PP93a]: ``m`` memory
+modules behind a *complete* interconnect, so the cost of satisfying an
+access batch is purely its **module congestion** — the maximum number of
+requests any single module must serve (one per time unit).  The paper
+under reproduction lifts [PP93a]'s BIBD scheme from the MPC to the mesh;
+this subpackage implements the original single-level scheme so the
+hierarchy's contribution can be isolated (ablation experiment E13):
+
+* :class:`MPCMachine` — congestion-cost accounting for access batches;
+* :class:`PP93aScheme` — the explicit (q^d, q)-BIBD memory organization
+  of [PP93a] with majority access and threshold-based copy selection,
+  achieving O(sqrt(n)) worst-case module congestion for memory ~ n^2.
+"""
+
+from repro.mpc.machine import AccessBatchCost, MPCMachine
+from repro.mpc.pp93a import PP93aScheme
+
+__all__ = ["AccessBatchCost", "MPCMachine", "PP93aScheme"]

@@ -1,0 +1,64 @@
+"""The Module Parallel Computer: congestion-cost accounting.
+
+An MPC step lets every processor send one request into the complete
+network and every module answer one request.  A batch of accesses
+addressed to modules therefore takes ``max module congestion`` steps —
+routing is free, contention is everything.  (This is exactly the aspect
+the mesh simulation must add routing costs on top of, which is why the
+paper calls the MPC unrealistic.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validate import check_positive
+
+__all__ = ["AccessBatchCost", "MPCMachine"]
+
+
+@dataclass(frozen=True)
+class AccessBatchCost:
+    """Cost decomposition of one MPC access batch."""
+
+    requests: int
+    packets: int
+    max_module_load: int
+    mean_module_load: float
+
+    @property
+    def steps(self) -> int:
+        """MPC time units to satisfy the batch (= max congestion)."""
+        return self.max_module_load
+
+
+class MPCMachine:
+    """An m-module MPC with cumulative congestion accounting."""
+
+    def __init__(self, num_modules: int):
+        check_positive("num_modules", num_modules)
+        self.num_modules = int(num_modules)
+        self.total_steps = 0
+        self.batches = 0
+
+    def access(self, module_ids: np.ndarray) -> AccessBatchCost:
+        """Account one batch of module accesses (one id per packet)."""
+        module_ids = np.asarray(module_ids, dtype=np.int64)
+        if module_ids.ndim != 1:
+            raise ValueError("module_ids must be 1-D (one entry per packet)")
+        if module_ids.size == 0:
+            return AccessBatchCost(0, 0, 0, 0.0)
+        if np.any((module_ids < 0) | (module_ids >= self.num_modules)):
+            raise ValueError("module id out of range")
+        loads = np.bincount(module_ids, minlength=self.num_modules)
+        cost = AccessBatchCost(
+            requests=int(module_ids.size),
+            packets=int(module_ids.size),
+            max_module_load=int(loads.max()),
+            mean_module_load=float(loads[loads > 0].mean()),
+        )
+        self.total_steps += cost.steps
+        self.batches += 1
+        return cost

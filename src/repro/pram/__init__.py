@@ -1,0 +1,22 @@
+"""The PRAM front-end: machine model, backends, algorithm library.
+
+The PRAM is the *simulated* machine: ``P`` synchronous processors
+reading/writing a shared memory, one access per processor per step.
+:class:`PRAMMachine` provides the step-level API; pluggable backends give
+it semantics and cost:
+
+* :class:`IdealBackend` — a plain array with unit-cost steps: the
+  specification the simulation must match.
+* :class:`MeshBackend` — every PRAM step is simulated on the mesh via
+  the HMOS + CULLING + access protocol; costs are mesh steps (Theorem 1).
+
+Concurrent accesses follow the priority-CRCW convention (lowest
+processor id wins on write conflicts; concurrent reads are combined), so
+every classical PRAM algorithm in :mod:`repro.pram.algorithms` runs
+unchanged on either backend.
+"""
+
+from repro.pram.backends import IdealBackend, MeshBackend
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["IDLE", "IdealBackend", "MeshBackend", "PRAMMachine"]

@@ -1,0 +1,34 @@
+"""Classical PRAM algorithms, written against the step-level machine API.
+
+Each function issues genuine PRAM steps (one shared-memory access per
+processor per step, local registers in between), so running them on a
+:class:`repro.pram.MeshBackend` exercises the full simulation stack with
+the access patterns the paper's introduction motivates: contiguous
+(scatter/gather), strided and shrinking (scan, reduction), concurrent
+reads of one cell (matvec broadcast), and data-dependent pointer chasing
+(list ranking).
+"""
+
+from repro.pram.algorithms.compaction import compact, segmented_scan
+from repro.pram.algorithms.graphs import bfs
+from repro.pram.algorithms.matmul import matmul
+from repro.pram.algorithms.matvec import matvec
+from repro.pram.algorithms.ranking import list_ranking
+from repro.pram.algorithms.reduce import reduce_max, reduce_sum
+from repro.pram.algorithms.scan import prefix_sum
+from repro.pram.algorithms.sorting import odd_even_sort
+from repro.pram.algorithms.stencil import jacobi_1d
+
+__all__ = [
+    "bfs",
+    "compact",
+    "jacobi_1d",
+    "list_ranking",
+    "matmul",
+    "matvec",
+    "odd_even_sort",
+    "prefix_sum",
+    "reduce_max",
+    "reduce_sum",
+    "segmented_scan",
+]

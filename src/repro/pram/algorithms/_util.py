@@ -1,0 +1,32 @@
+"""Shared helpers for the PRAM algorithm library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["pad_addrs", "pad_values", "check_capacity"]
+
+
+def pad_addrs(machine: PRAMMachine, addrs: np.ndarray) -> np.ndarray:
+    """Extend a per-active-processor address vector to all P processors."""
+    out = np.full(machine.num_processors, IDLE, dtype=np.int64)
+    out[: addrs.size] = addrs
+    return out
+
+
+def pad_values(machine: PRAMMachine, values: np.ndarray) -> np.ndarray:
+    """Extend a value vector to all P processors (idle lanes get 0)."""
+    out = np.zeros(machine.num_processors, dtype=np.int64)
+    out[: values.size] = values
+    return out
+
+
+def check_capacity(machine: PRAMMachine, needed: int, what: str) -> None:
+    """Fail fast when a problem needs more processors than the machine has."""
+    if needed > machine.num_processors:
+        raise ValueError(
+            f"{what} needs {needed} processors, machine has "
+            f"{machine.num_processors}"
+        )

@@ -1,0 +1,104 @@
+"""Scan-based PRAM primitives: segmented scan and stream compaction.
+
+Both are classic O(log m)-step building blocks layered on the recursive
+doubling scan:
+
+* :func:`segmented_scan` — prefix sums that restart at segment heads,
+  via the standard (flag, value) semiring trick;
+* :func:`compact` — keep the elements matching a predicate mask, packed
+  to the front, with ranks computed by an exclusive scan of the mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["segmented_scan", "compact"]
+
+
+def segmented_scan(
+    machine: PRAMMachine,
+    values: np.ndarray,
+    heads: np.ndarray,
+    *,
+    base: int = 0,
+) -> np.ndarray:
+    """Inclusive prefix sums restarting at each segment head.
+
+    ``heads[i] = 1`` marks the start of a segment.  Uses the classic
+    pair-propagation: at distance d, position i accumulates position
+    i - d only if no head lies in ``(i-d, i]`` — tracked by OR-scanning
+    the flags alongside the values.
+
+    Layout: values ping-pong in ``[base, base + 2m)``, flags ping-pong in
+    ``[base + 2m, base + 4m)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    m = values.size
+    if heads.shape != (m,):
+        raise ValueError("heads must align with values")
+    if m == 0:
+        return values.copy()
+    if not ((heads == 0) | (heads == 1)).all():
+        raise ValueError("heads must be 0/1 flags")
+    check_capacity(machine, m, "segmented_scan")
+    v_src, v_dst = base, base + m
+    f_src, f_dst = base + 2 * m, base + 3 * m
+    machine.scatter(v_src, values)
+    machine.scatter(f_src, heads)
+    i = np.arange(m, dtype=np.int64)
+    d = 1
+    while d < m:
+        x = machine.read(pad_addrs(machine, v_src + i))[:m]
+        f = machine.read(pad_addrs(machine, f_src + i))[:m]
+        prev_ok = i >= d
+        xp = machine.read(pad_addrs(machine, np.where(prev_ok, v_src + i - d, IDLE)))[:m]
+        fp = machine.read(pad_addrs(machine, np.where(prev_ok, f_src + i - d, IDLE)))[:m]
+        absorb = prev_ok & (f == 0)
+        new_x = x + np.where(absorb, xp, 0)
+        new_f = np.where(prev_ok, np.maximum(f, np.where(absorb, fp, f)), f)
+        # (f OR fp) when absorbing; heads stay heads.
+        machine.write(pad_addrs(machine, v_dst + i), pad_values(machine, new_x))
+        machine.write(pad_addrs(machine, f_dst + i), pad_values(machine, new_f))
+        v_src, v_dst = v_dst, v_src
+        f_src, f_dst = f_dst, f_src
+        d *= 2
+    return machine.gather(v_src, m)
+
+
+def compact(
+    machine: PRAMMachine,
+    values: np.ndarray,
+    keep: np.ndarray,
+    *,
+    base: int = 0,
+) -> np.ndarray:
+    """Pack the kept elements to the front, preserving order.
+
+    Ranks come from an inclusive scan of the 0/1 keep mask (one
+    recursive-doubling pass); each kept element then writes itself to
+    ``out[rank - 1]`` in a single scatter step.
+    """
+    from repro.pram.algorithms.scan import prefix_sum
+
+    values = np.asarray(values, dtype=np.int64)
+    keep = np.asarray(keep, dtype=np.int64)
+    m = values.size
+    if keep.shape != (m,):
+        raise ValueError("keep must align with values")
+    if m == 0:
+        return values.copy()
+    if not ((keep == 0) | (keep == 1)).all():
+        raise ValueError("keep must be 0/1 flags")
+    check_capacity(machine, m, "compact")
+    ranks = prefix_sum(machine, keep, base=base)  # uses [base, base+2m)
+    out_base = base + 2 * m
+    sel = keep == 1
+    addrs = np.where(sel, out_base + ranks - 1, IDLE)
+    machine.write(pad_addrs(machine, addrs), pad_values(machine, values))
+    count = int(ranks[-1])
+    return machine.gather(out_base, count) if count else np.zeros(0, dtype=np.int64)

@@ -1,0 +1,90 @@
+"""Graph algorithms on the PRAM: level-synchronous BFS.
+
+BFS is the canonical irregular-parallelism workload: frontier sizes and
+memory addresses depend on the input graph, so the simulated mesh sees
+unpredictable, data-dependent request sets — the regime deterministic
+simulation guarantees worst-case bounds for.
+
+Layout in shared memory from ``base``: CSR offsets (V+1 cells), CSR
+targets (E cells), then the distance array (V cells, -1 = unvisited,
+encoded as a large sentinel since cells hold int64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["bfs"]
+
+_UNREACHED = np.int64(2**40)  # distance sentinel inside shared memory
+
+
+def bfs(
+    machine: PRAMMachine,
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    source: int,
+    *,
+    base: int = 0,
+) -> np.ndarray:
+    """Breadth-first distances from ``source`` over a CSR graph.
+
+    One processor per vertex; each BFS level scans the frontier's
+    adjacency in parallel (processor v repeatedly reads one neighbor per
+    step).  Returns distances with ``-1`` for unreachable vertices.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    V = offsets.size - 1
+    E = targets.size
+    if V < 1 or offsets[0] != 0 or offsets[-1] != E:
+        raise ValueError("malformed CSR offsets")
+    if np.any((targets < 0) | (targets >= V)):
+        raise ValueError("CSR target out of range")
+    if not 0 <= source < V:
+        raise ValueError("source out of range")
+    check_capacity(machine, V, "bfs")
+
+    off_base = base
+    tgt_base = base + V + 1
+    dist_base = tgt_base + E
+    machine.scatter(off_base, offsets)
+    if E:
+        machine.scatter(tgt_base, targets)
+    machine.scatter(dist_base, np.full(V, _UNREACHED, dtype=np.int64))
+    machine.write(
+        pad_addrs(machine, np.array([dist_base + source])),
+        pad_values(machine, np.array([0])),
+    )
+
+    verts = np.arange(V, dtype=np.int64)
+    deg_lo = offsets[:-1]
+    deg_hi = offsets[1:]
+    max_deg = int((deg_hi - deg_lo).max()) if V else 0
+    for level in range(V):
+        dist = machine.read(pad_addrs(machine, dist_base + verts))[:V]
+        frontier = dist == level
+        if not frontier.any():
+            break
+        # Each frontier vertex walks its adjacency list; one neighbor
+        # read + one distance write per step slot, lock-step across the
+        # frontier (idle lanes for exhausted lists).
+        for j in range(max_deg):
+            slot = deg_lo + j
+            live = frontier & (slot < deg_hi)
+            addr = np.where(live, tgt_base + slot, IDLE)
+            nbr = machine.read(pad_addrs(machine, addr))[:V]
+            nbr_dist_addr = np.where(live, dist_base + nbr, IDLE)
+            nbr_dist = machine.read(pad_addrs(machine, nbr_dist_addr))[:V]
+            update = live & (nbr_dist > level + 1)
+            waddr = np.where(update, dist_base + nbr, IDLE)
+            machine.write(
+                pad_addrs(machine, waddr),
+                pad_values(machine, np.full(V, level + 1, dtype=np.int64)),
+            )
+    out = machine.gather(dist_base, V)
+    out[out >= _UNREACHED] = -1
+    return out

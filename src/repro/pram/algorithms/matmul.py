@@ -1,0 +1,49 @@
+"""Dense matrix multiplication: one processor per output element.
+
+``C = A @ B`` for an (r x s) by (s x c) product with ``r*c`` processors:
+processor (i, j) serially accumulates ``sum_t A[i,t] B[t,j]``, reading
+one A element and one B element per step.  B-column reads from the same
+t collide across processors of a row/column — the concurrent-read
+combining of the machine keeps this a legal CREW program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import PRAMMachine
+
+__all__ = ["matmul"]
+
+
+def matmul(
+    machine: PRAMMachine, a: np.ndarray, b: np.ndarray, *, base: int = 0
+) -> np.ndarray:
+    """Compute ``a @ b`` on the PRAM; returns the (r x c) product.
+
+    Layout from ``base``: A row-major, then B row-major, then C.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    r, s = a.shape
+    _, c = b.shape
+    check_capacity(machine, r * c, "matmul")
+    a_base = base
+    b_base = base + r * s
+    c_base = b_base + s * c
+    machine.scatter(a_base, a.reshape(-1))
+    machine.scatter(b_base, b.reshape(-1))
+
+    procs = np.arange(r * c, dtype=np.int64)
+    i = procs // c
+    j = procs % c
+    acc = np.zeros(r * c, dtype=np.int64)
+    for t in range(s):
+        av = machine.read(pad_addrs(machine, a_base + i * s + t))[: r * c]
+        bv = machine.read(pad_addrs(machine, b_base + t * c + j))[: r * c]
+        acc += av * bv
+    machine.write(pad_addrs(machine, c_base + procs), pad_values(machine, acc))
+    return machine.gather(c_base, r * c).reshape(r, c)

@@ -1,0 +1,48 @@
+"""Dense matrix-vector product: one processor per row.
+
+Each of the ``r`` processors scans its row, so every step all active
+processors read one matrix cell (distinct addresses) and then the same
+vector cell (a *concurrent read* — the CREW pattern the machine has to
+combine).  Total 2c + O(1) PRAM steps for an r x c matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import PRAMMachine
+
+__all__ = ["matvec"]
+
+
+def matvec(
+    machine: PRAMMachine, matrix: np.ndarray, vector: np.ndarray, *, base: int = 0
+) -> np.ndarray:
+    """Compute ``matrix @ vector`` on the PRAM.
+
+    Layout in shared memory from ``base``: the matrix row-major (r*c
+    cells), then the vector (c cells), then the result (r cells).
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    vector = np.asarray(vector, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    r, c = matrix.shape
+    if vector.shape != (c,):
+        raise ValueError(f"vector must have shape ({c},)")
+    check_capacity(machine, r, "matvec")
+    mat_base = base
+    vec_base = base + r * c
+    out_base = vec_base + c
+    machine.scatter(mat_base, matrix.reshape(-1))
+    machine.scatter(vec_base, vector)
+
+    rows = np.arange(r, dtype=np.int64)
+    acc = np.zeros(r, dtype=np.int64)
+    for j in range(c):
+        a = machine.read(pad_addrs(machine, mat_base + rows * c + j))[:r]
+        x = machine.read(pad_addrs(machine, np.full(r, vec_base + j)))[:r]
+        acc += a * x
+    machine.write(pad_addrs(machine, out_base + rows), pad_values(machine, acc))
+    return machine.gather(out_base, r)

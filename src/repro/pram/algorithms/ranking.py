@@ -1,0 +1,61 @@
+"""List ranking by pointer jumping — the canonical data-dependent
+(irregular) PRAM access pattern.
+
+Each element of a linked list learns its distance to the tail in
+O(log m) jumping rounds: ``rank[i] += rank[next[i]]; next[i] =
+next[next[i]]``.  The indirection ``rank[next[i]]`` makes the memory
+trace depend on data, exercising the simulation on non-structured
+request sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import PRAMMachine
+
+__all__ = ["list_ranking"]
+
+
+def list_ranking(
+    machine: PRAMMachine, successor: np.ndarray, *, base: int = 0
+) -> np.ndarray:
+    """Distance of every list element to the tail.
+
+    Parameters
+    ----------
+    successor : array of int
+        ``successor[i]`` is the next element; the tail points to itself.
+
+    Returns
+    -------
+    ranks : array of int
+        ``ranks[i]`` = number of links from i to the tail.
+
+    Uses shared memory ``[base, base + 2m)``: successors then ranks.
+    """
+    successor = np.asarray(successor, dtype=np.int64)
+    m = successor.size
+    if m == 0:
+        return successor.copy()
+    if np.any((successor < 0) | (successor >= m)):
+        raise ValueError("successor indices out of range")
+    check_capacity(machine, m, "list_ranking")
+    nxt_base, rank_base = base, base + m
+    machine.scatter(nxt_base, successor)
+    initial_rank = (successor != np.arange(m)).astype(np.int64)
+    machine.scatter(rank_base, initial_rank)
+
+    i = np.arange(m, dtype=np.int64)
+    rounds = max(1, int(np.ceil(np.log2(max(m, 2)))))
+    for _ in range(rounds):
+        nxt = machine.read(pad_addrs(machine, nxt_base + i))[:m]
+        rank = machine.read(pad_addrs(machine, rank_base + i))[:m]
+        rank_next = machine.read(pad_addrs(machine, rank_base + nxt))[:m]
+        nxt_next = machine.read(pad_addrs(machine, nxt_base + nxt))[:m]
+        machine.write(
+            pad_addrs(machine, rank_base + i), pad_values(machine, rank + rank_next)
+        )
+        machine.write(pad_addrs(machine, nxt_base + i), pad_values(machine, nxt_next))
+    return machine.gather(rank_base, m)

@@ -1,0 +1,40 @@
+"""Tournament reductions (sum, max) in O(log m) PRAM steps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["reduce_sum", "reduce_max"]
+
+
+def _reduce(machine: PRAMMachine, values: np.ndarray, base: int, op) -> int:
+    values = np.asarray(values, dtype=np.int64)
+    m = values.size
+    if m == 0:
+        raise ValueError("cannot reduce an empty array")
+    check_capacity(machine, m, "reduction")
+    machine.scatter(base, values)
+    width = m
+    while width > 1:
+        half = (width + 1) // 2
+        idx = np.arange(half, dtype=np.int64)
+        left = machine.read(pad_addrs(machine, base + idx))[:half]
+        right_addrs = np.where(half + idx < width, base + half + idx, IDLE)
+        right = machine.read(pad_addrs(machine, right_addrs))[:half]
+        combined = np.where(half + idx < width, op(left, right), left)
+        machine.write(pad_addrs(machine, base + idx), pad_values(machine, combined))
+        width = half
+    return int(machine.gather(base, 1)[0])
+
+
+def reduce_sum(machine: PRAMMachine, values: np.ndarray, *, base: int = 0) -> int:
+    """Sum of ``values`` via a binary tournament in shared memory."""
+    return _reduce(machine, values, base, np.add)
+
+
+def reduce_max(machine: PRAMMachine, values: np.ndarray, *, base: int = 0) -> int:
+    """Maximum of ``values`` via a binary tournament in shared memory."""
+    return _reduce(machine, values, base, np.maximum)

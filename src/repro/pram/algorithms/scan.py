@@ -1,0 +1,41 @@
+"""Parallel prefix sum (inclusive scan) by recursive doubling.
+
+The classic O(log m)-step PRAM scan: at distance d, every processor i
+with ``i >= d`` adds the value at ``i - d``.  Two ping-pong buffers make
+each iteration CREW-safe (read the old buffer, write the new one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["prefix_sum"]
+
+
+def prefix_sum(machine: PRAMMachine, values: np.ndarray, *, base: int = 0) -> np.ndarray:
+    """Inclusive prefix sums of ``values`` computed on the PRAM.
+
+    Uses shared memory ``[base, base + 2m)`` as ping-pong buffers.
+    Returns the scanned array (also left in shared memory).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    m = values.size
+    if m == 0:
+        return values.copy()
+    check_capacity(machine, m, "prefix_sum")
+    machine.scatter(base, values)
+    src, dst = base, base + m
+    i = np.arange(m, dtype=np.int64)
+    d = 1
+    while d < m:
+        x = machine.read(pad_addrs(machine, src + i))[:m]
+        prev_addrs = np.where(i >= d, src + i - d, IDLE)
+        xprev = machine.read(pad_addrs(machine, prev_addrs))[:m]
+        total = x + np.where(i >= d, xprev, 0)
+        machine.write(pad_addrs(machine, dst + i), pad_values(machine, total))
+        src, dst = dst, src
+        d *= 2
+    return machine.gather(src, m)

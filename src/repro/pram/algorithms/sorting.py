@@ -1,0 +1,38 @@
+"""Odd-even transposition sort: m phases of neighbor compare-exchange.
+
+One processor per pair; each phase reads both cells of its pair and
+writes them back in order.  O(m) PRAM steps for m keys — not the fastest
+PRAM sort, but a dense, highly regular access pattern that stresses the
+simulation with full-width steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.algorithms._util import check_capacity, pad_addrs, pad_values
+from repro.pram.machine import PRAMMachine
+
+__all__ = ["odd_even_sort"]
+
+
+def odd_even_sort(machine: PRAMMachine, values: np.ndarray, *, base: int = 0) -> np.ndarray:
+    """Sort ``values`` ascending in shared memory ``[base, base + m)``."""
+    values = np.asarray(values, dtype=np.int64)
+    m = values.size
+    if m <= 1:
+        return values.copy()
+    check_capacity(machine, (m + 1) // 2, "odd_even_sort")
+    machine.scatter(base, values)
+    for phase in range(m):
+        start = phase % 2
+        lefts = np.arange(start, m - 1, 2, dtype=np.int64)
+        if lefts.size == 0:
+            continue
+        a = machine.read(pad_addrs(machine, base + lefts))[: lefts.size]
+        b = machine.read(pad_addrs(machine, base + lefts + 1))[: lefts.size]
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        machine.write(pad_addrs(machine, base + lefts), pad_values(machine, lo))
+        machine.write(pad_addrs(machine, base + lefts + 1), pad_values(machine, hi))
+    return machine.gather(base, m)

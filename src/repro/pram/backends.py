@@ -1,0 +1,150 @@
+"""Memory backends for the PRAM machine.
+
+A backend receives *distinct-cell* request batches (the machine combines
+concurrent accesses) and provides values plus a cost measure:
+
+* :class:`IdealBackend` — NumPy array semantics, unit cost per step; the
+  executable specification.
+* :class:`MeshBackend` — runs every step through CULLING + the access
+  protocol on the simulated mesh; cost is accumulated mesh steps, i.e.
+  the quantity Theorem 1 bounds.  A monotone step counter provides the
+  timestamps that the majority rule requires.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.hmos.scheme import HMOS
+from repro.mesh.costmodel import CostModel
+from repro.protocol.access import AccessProtocol, AccessResult
+
+__all__ = ["Backend", "IdealBackend", "MeshBackend"]
+
+
+class Backend(Protocol):
+    """Structural interface the PRAM machine expects."""
+
+    memory_size: int
+    max_requests: int
+    cost: float
+
+    def read_step(self, cells: np.ndarray) -> np.ndarray: ...  # noqa: E704
+
+    def write_step(self, cells: np.ndarray, values: np.ndarray) -> None: ...  # noqa: E704
+
+    def mixed_step(
+        self, read_cells: np.ndarray, write_cells: np.ndarray, values: np.ndarray
+    ) -> np.ndarray: ...  # noqa: E704
+
+
+class IdealBackend:
+    """Unit-cost shared memory: the reference PRAM semantics."""
+
+    def __init__(self, memory_size: int):
+        if memory_size < 1:
+            raise ValueError("memory_size must be positive")
+        self.memory_size = int(memory_size)
+        self.max_requests = int(memory_size)
+        self._mem = np.zeros(self.memory_size, dtype=np.int64)
+        self.cost = 0.0
+
+    def read_step(self, cells: np.ndarray) -> np.ndarray:
+        self.cost += 1.0
+        return self._mem[cells].copy()
+
+    def write_step(self, cells: np.ndarray, values: np.ndarray) -> None:
+        self.cost += 1.0
+        self._mem[cells] = values
+
+    def mixed_step(
+        self, read_cells: np.ndarray, write_cells: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """One PRAM step: read phase (old values), then write phase."""
+        self.cost += 1.0
+        out = self._mem[read_cells].copy()
+        self._mem[write_cells] = values
+        return out
+
+    def snapshot(self) -> np.ndarray:
+        """Full memory image (testing hook)."""
+        return self._mem.copy()
+
+
+class MeshBackend:
+    """Shared memory simulated on the mesh via the HMOS.
+
+    Parameters
+    ----------
+    scheme : HMOS
+        The memory organization (which also fixes n and the mesh).
+    engine : {"model", "cycle"}
+        Execution engine for the access protocol; ``model`` by default so
+        PRAM programs of many steps stay fast.
+    """
+
+    def __init__(
+        self,
+        scheme: HMOS,
+        *,
+        engine: str = "model",
+        cost_model: CostModel | None = None,
+    ):
+        self.scheme = scheme
+        self.protocol = AccessProtocol(scheme, engine=engine, cost_model=cost_model)
+        self.memory_size = scheme.num_variables
+        self.max_requests = scheme.params.n
+        self.cost = 0.0
+        self._time = 0
+        self.access_log: list[AccessResult] = []
+
+    def read_step(self, cells: np.ndarray) -> np.ndarray:
+        self._time += 1
+        res = self.protocol.read(cells)
+        self.cost += res.total_steps
+        self.access_log.append(res)
+        return res.values
+
+    def write_step(self, cells: np.ndarray, values: np.ndarray) -> None:
+        self._time += 1
+        res = self.protocol.write(cells, values, timestamp=self._time)
+        self.cost += res.total_steps
+        self.access_log.append(res)
+
+    def mixed_step(
+        self, read_cells: np.ndarray, write_cells: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Fused read+write step: one culling pass, one routed journey.
+
+        A cell appearing in both sets is treated as written; the
+        protocol's mixed access returns pre-write values, preserving the
+        read-before-write PRAM convention.
+        """
+        self._time += 1
+        union = np.unique(np.concatenate([read_cells, write_cells]))
+        is_write = np.isin(union, write_cells)
+        aligned = np.zeros(union.size, dtype=np.int64)
+        w_pos = {int(c): int(v) for c, v in zip(write_cells, values)}
+        for i, cell in enumerate(union.tolist()):
+            if is_write[i]:
+                aligned[i] = w_pos[cell]
+        res = self.protocol.mixed(union, is_write, aligned, timestamp=self._time)
+        self.cost += res.total_steps
+        self.access_log.append(res)
+        lookup = np.searchsorted(union, read_cells)
+        return res.values[lookup]
+
+    @property
+    def mesh_steps(self) -> float:
+        """Alias for :attr:`cost` with the paper's units spelled out."""
+        return self.cost
+
+    def report(self):
+        """A :class:`repro.protocol.SimulationReport` over the access log."""
+        from repro.protocol.stats import SimulationReport
+
+        out = SimulationReport()
+        out.extend(self.access_log)
+        return out

@@ -1,0 +1,27 @@
+"""An instruction-level PRAM interpreter.
+
+The paper simulates "PRAM computation"; this subpackage makes that
+literal: a synchronous register machine — every processor runs the same
+program text (SPMD) over its own registers, with one shared-memory
+access per step — whose LOAD/STORE phases are exactly the request sets
+the mesh simulation consumes.
+
+* :mod:`repro.pram.interpreter.isa` — the instruction set and assembler
+  (a tiny, line-oriented assembly with labels).
+* :mod:`repro.pram.interpreter.machine` — the lock-step interpreter
+  driving a :class:`repro.pram.PRAMMachine` (ideal or mesh backend).
+* :mod:`repro.pram.interpreter.programs` — assembly implementations of
+  classic kernels, used by tests and examples.
+"""
+
+from repro.pram.interpreter.isa import AssemblyError, Instruction, Program, assemble
+from repro.pram.interpreter.machine import Interpreter, MachineState
+
+__all__ = [
+    "AssemblyError",
+    "Instruction",
+    "Interpreter",
+    "MachineState",
+    "Program",
+    "assemble",
+]

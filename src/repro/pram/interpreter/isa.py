@@ -1,0 +1,180 @@
+"""Instruction set and assembler for the PRAM interpreter.
+
+A tiny SPMD assembly: every processor executes the same program text
+over its own 16 registers ``r0..r15`` plus the read-only specials
+``pid`` (processor id) and ``nproc``.  One shared-memory access per
+instruction, matching the PRAM definition.
+
+Syntax (case-insensitive mnemonics, ``#`` or ``;`` comments, labels end
+with ``:``)::
+
+    li    rd, imm          rd <- imm
+    mov   rd, rs           rd <- rs
+    add   rd, ra, b        rd <- ra + b      (b: register or immediate)
+    sub   rd, ra, b        likewise: mul, div (floor), mod, min, max,
+                           and, or, xor, shl, shr (shift counts in [0,63])
+    load  rd, ra           rd <- MEM[ra]     (ra: register or immediate)
+    store ra, b            MEM[ra] <- b
+    beq   ra, b, label     branch if ra == b (also bne, blt, bge)
+    jmp   label
+    nop
+    halt
+
+Addresses and values are int64.  ``div``/``mod`` follow Python (floor)
+semantics; division by zero raises at run time with the processor id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AssemblyError", "Instruction", "Program", "assemble", "NUM_REGISTERS"]
+
+NUM_REGISTERS = 16
+
+# opcode -> (operand pattern)
+#   R = register destination, S = register-or-immediate source,
+#   A = register-or-immediate address, L = label
+_FORMATS = {
+    "li": "RS",
+    "mov": "RS",
+    "add": "RSS",
+    "sub": "RSS",
+    "mul": "RSS",
+    "div": "RSS",
+    "mod": "RSS",
+    "min": "RSS",
+    "max": "RSS",
+    "and": "RSS",
+    "or": "RSS",
+    "xor": "RSS",
+    "shl": "RSS",
+    "shr": "RSS",
+    "load": "RA",
+    "store": "AS",
+    "beq": "SSL",
+    "bne": "SSL",
+    "blt": "SSL",
+    "bge": "SSL",
+    "jmp": "L",
+    "nop": "",
+    "halt": "",
+}
+
+MEMORY_OPS = frozenset({"load", "store"})
+BRANCH_OPS = frozenset({"beq", "bne", "blt", "bge", "jmp"})
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly, with the offending line number."""
+
+
+@dataclass(frozen=True)
+class Operand:
+    """Either a register index, an immediate, or a special register."""
+
+    kind: str  # "reg", "imm", "pid", "nproc"
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: str
+    operands: tuple[Operand, ...]
+    line: int  # source line, for diagnostics
+
+
+@dataclass(frozen=True)
+class Program:
+    """Assembled program: instructions plus the resolved label map."""
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int]
+    source: str
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    token = token.strip().lower()
+    if token == "pid":
+        return Operand("pid")
+    if token == "nproc":
+        return Operand("nproc")
+    if token.startswith("r") and token[1:].isdigit():
+        idx = int(token[1:])
+        if not 0 <= idx < NUM_REGISTERS:
+            raise AssemblyError(f"line {line_no}: register {token} out of range")
+        return Operand("reg", idx)
+    try:
+        return Operand("imm", int(token, 0))
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: cannot parse operand {token!r}") from None
+
+
+def _check_operand(op: Operand, pattern: str, line_no: int, pos: int) -> None:
+    if pattern == "R" and op.kind != "reg":
+        raise AssemblyError(
+            f"line {line_no}: operand {pos + 1} must be a writable register"
+        )
+    # S and A accept registers, immediates and specials.
+
+
+def assemble(source: str) -> Program:
+    """Assemble program text into a :class:`Program`.
+
+    Two passes: collect labels, then decode instructions and resolve
+    branch targets (a label operand becomes an immediate PC).
+    """
+    lines = source.splitlines()
+    labels: dict[str, int] = {}
+    cleaned: list[tuple[int, str]] = []
+    for no, raw in enumerate(lines, start=1):
+        text = raw.split("#")[0].split(";")[0].strip()
+        if not text:
+            continue
+        while text.endswith(":") or ":" in text.split()[0]:
+            head, _, rest = text.partition(":")
+            label = head.strip().lower()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {no}: duplicate label {label!r}")
+            labels[label] = len(cleaned)
+            text = rest.strip()
+            if not text:
+                break
+        if text:
+            cleaned.append((no, text))
+
+    instructions: list[Instruction] = []
+    for no, text in cleaned:
+        parts = text.replace(",", " ").split()
+        op = parts[0].lower()
+        if op not in _FORMATS:
+            raise AssemblyError(f"line {no}: unknown instruction {op!r}")
+        pattern = _FORMATS[op]
+        args = parts[1:]
+        if len(args) != len(pattern):
+            raise AssemblyError(
+                f"line {no}: {op} expects {len(pattern)} operands, got {len(args)}"
+            )
+        operands: list[Operand] = []
+        for pos, (arg, pat) in enumerate(zip(args, pattern)):
+            if pat == "L":
+                label = arg.strip().lower()
+                if label not in labels:
+                    raise AssemblyError(f"line {no}: undefined label {label!r}")
+                operands.append(Operand("imm", labels[label]))
+            else:
+                parsed = _parse_operand(arg, no)
+                _check_operand(parsed, pat, no, pos)
+                operands.append(parsed)
+        instructions.append(Instruction(op, tuple(operands), no))
+
+    if not instructions:
+        raise AssemblyError("empty program")
+    return Program(tuple(instructions), labels, source)

@@ -1,0 +1,212 @@
+"""Lock-step execution of assembled programs on a PRAM machine.
+
+Synchronous rounds: every non-halted processor executes the instruction
+at its own PC (control flow may diverge — SPMD, not SIMD).  Per round:
+
+1. all processors whose instruction is ``load`` issue one combined PRAM
+   *read step* (others idle);
+2. all processors whose instruction is ``store`` issue one combined PRAM
+   *write step*;
+3. pure register instructions execute locally (tracked as local rounds,
+   free of memory cost — the PRAM charges for shared-memory access).
+
+Execution is vectorized by grouping processors with equal PCs, so the
+common all-aligned case costs one NumPy pass per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pram.interpreter.isa import NUM_REGISTERS, Operand, Program
+from repro.pram.machine import IDLE, PRAMMachine
+
+__all__ = ["Interpreter", "MachineState"]
+
+
+@dataclass
+class MachineState:
+    """Architectural state after (or during) a run."""
+
+    registers: np.ndarray  # (P, NUM_REGISTERS) int64
+    pc: np.ndarray  # (P,) int64
+    halted: np.ndarray  # (P,) bool
+    rounds: int = 0
+    read_steps: int = 0
+    write_steps: int = 0
+    local_rounds: int = 0
+
+    @property
+    def all_halted(self) -> bool:
+        return bool(self.halted.all())
+
+
+class Interpreter:
+    """Runs a :class:`Program` on a :class:`PRAMMachine`."""
+
+    def __init__(self, machine: PRAMMachine):
+        self.machine = machine
+
+    def _operand_values(
+        self, op: Operand, regs: np.ndarray, procs: np.ndarray
+    ) -> np.ndarray:
+        if op.kind == "reg":
+            return regs[procs, op.value]
+        if op.kind == "imm":
+            return np.full(procs.size, op.value, dtype=np.int64)
+        if op.kind == "pid":
+            return procs.astype(np.int64)
+        if op.kind == "nproc":
+            return np.full(procs.size, self.machine.num_processors, dtype=np.int64)
+        raise AssertionError(f"unknown operand kind {op.kind}")
+
+    def run(
+        self,
+        program: Program,
+        *,
+        max_rounds: int = 100_000,
+        registers: np.ndarray | None = None,
+    ) -> MachineState:
+        """Execute until every processor halts (or fall off the end).
+
+        ``registers`` optionally pre-loads initial register values,
+        shape ``(P, NUM_REGISTERS)``.
+        """
+        P = self.machine.num_processors
+        regs = np.zeros((P, NUM_REGISTERS), dtype=np.int64)
+        if registers is not None:
+            registers = np.asarray(registers, dtype=np.int64)
+            if registers.shape != regs.shape:
+                raise ValueError(f"registers must have shape {regs.shape}")
+            regs[:] = registers
+        state = MachineState(
+            registers=regs,
+            pc=np.zeros(P, dtype=np.int64),
+            halted=np.zeros(P, dtype=bool),
+        )
+        code = program.instructions
+        while not state.all_halted:
+            if state.rounds >= max_rounds:
+                raise RuntimeError(f"program exceeded {max_rounds} rounds")
+            self._round(code, state)
+            state.rounds += 1
+        return state
+
+    # -- one synchronous round ------------------------------------------------
+
+    def _round(self, code, state: MachineState) -> None:
+        active = np.nonzero(~state.halted)[0]
+        # Falling off the end halts the processor.
+        off_end = active[state.pc[active] >= len(code)]
+        if off_end.size:
+            state.halted[off_end] = True
+            active = np.nonzero(~state.halted)[0]
+            if active.size == 0:
+                return
+
+        ops = np.array([code[state.pc[p]].op for p in active])
+
+        # Memory phase: the round's loads and stores fuse into ONE PRAM
+        # step (the paper's "each processor reads or writes" step) — on
+        # the mesh backend a single culling pass and routed journey.
+        loaders = active[ops == "load"]
+        storers = active[ops == "store"]
+        if loaders.size or storers.size:
+            self._memory_phase(code, state, loaders, storers)
+            if loaders.size:
+                state.read_steps += 1
+            if storers.size:
+                state.write_steps += 1
+        else:
+            state.local_rounds += 1
+
+        # Local instructions, grouped by PC for vectorized execution.
+        locals_mask = (ops != "load") & (ops != "store")
+        local_procs = active[locals_mask]
+        for pc_val in np.unique(state.pc[local_procs]):
+            procs = local_procs[state.pc[local_procs] == pc_val]
+            self._execute_local(code[pc_val], state, procs)
+        # loads/stores advance linearly.
+        for procs in (loaders, storers):
+            if procs.size:
+                state.pc[procs] += 1
+
+    def _memory_phase(
+        self, code, state, loaders: np.ndarray, storers: np.ndarray
+    ) -> None:
+        """Issue the round's loads and stores as one fused PRAM step."""
+        P = self.machine.num_processors
+        read_addrs = np.full(P, IDLE, dtype=np.int64)
+        dest = np.zeros(P, dtype=np.int64)
+        for p in loaders:
+            instr = code[state.pc[p]]
+            read_addrs[p] = self._operand_values(
+                instr.operands[1], state.registers, np.array([p])
+            )[0]
+            dest[p] = instr.operands[0].value
+        write_addrs = np.full(P, IDLE, dtype=np.int64)
+        vals = np.zeros(P, dtype=np.int64)
+        for p in storers:
+            instr = code[state.pc[p]]
+            write_addrs[p] = self._operand_values(
+                instr.operands[0], state.registers, np.array([p])
+            )[0]
+            vals[p] = self._operand_values(
+                instr.operands[1], state.registers, np.array([p])
+            )[0]
+        values = self.machine.step(read_addrs, write_addrs, vals)
+        if loaders.size:
+            state.registers[loaders, dest[loaders]] = values[loaders]
+
+    def _execute_local(self, instr, state, procs: np.ndarray) -> None:
+        regs = state.registers
+        op = instr.op
+        if op == "halt":
+            state.halted[procs] = True
+            return
+        next_pc = state.pc[procs] + 1
+        if op == "nop":
+            pass
+        elif op == "li" or op == "mov":
+            regs[procs, instr.operands[0].value] = self._operand_values(
+                instr.operands[1], regs, procs
+            )
+        elif op in (
+            "add", "sub", "mul", "div", "mod", "min", "max",
+            "and", "or", "xor", "shl", "shr",
+        ):
+            a = self._operand_values(instr.operands[1], regs, procs)
+            b = self._operand_values(instr.operands[2], regs, procs)
+            if op in ("div", "mod") and np.any(b == 0):
+                bad = procs[b == 0][0]
+                raise ZeroDivisionError(
+                    f"processor {bad}: {op} by zero at line {instr.line}"
+                )
+            if op in ("shl", "shr") and np.any((b < 0) | (b > 63)):
+                bad = procs[(b < 0) | (b > 63)][0]
+                raise ValueError(
+                    f"processor {bad}: shift count out of [0, 63] at line {instr.line}"
+                )
+            fn = {
+                "add": np.add, "sub": np.subtract, "mul": np.multiply,
+                "div": np.floor_divide, "mod": np.mod,
+                "min": np.minimum, "max": np.maximum,
+                "and": np.bitwise_and, "or": np.bitwise_or,
+                "xor": np.bitwise_xor,
+                "shl": np.left_shift, "shr": np.right_shift,
+            }[op]
+            regs[procs, instr.operands[0].value] = fn(a, b)
+        elif op == "jmp":
+            next_pc = np.full(procs.size, instr.operands[0].value, dtype=np.int64)
+        elif op in ("beq", "bne", "blt", "bge"):
+            a = self._operand_values(instr.operands[0], regs, procs)
+            b = self._operand_values(instr.operands[1], regs, procs)
+            cond = {
+                "beq": a == b, "bne": a != b, "blt": a < b, "bge": a >= b,
+            }[op]
+            next_pc = np.where(cond, instr.operands[2].value, next_pc)
+        else:  # pragma: no cover - assembler guarantees known ops
+            raise AssertionError(f"unhandled op {op}")
+        state.pc[procs] = next_pc

@@ -1,0 +1,97 @@
+"""Assembly kernels for the PRAM interpreter.
+
+Written in the SPMD assembly of :mod:`repro.pram.interpreter.isa`;
+shared-memory layouts are documented per program.  Used by tests and the
+interpreter example — running these on a :class:`repro.pram.MeshBackend`
+simulates genuine instruction-level PRAM computation on the mesh.
+"""
+
+from __future__ import annotations
+
+from repro.pram.interpreter.isa import Program, assemble
+
+__all__ = ["vector_scale", "sum_reduction", "array_reverse", "histogram"]
+
+
+def vector_scale(factor: int) -> Program:
+    """``MEM[i] <- factor * MEM[i]`` for i = pid (array of nproc cells at 0)."""
+    return assemble(f"""
+        # each processor scales its own cell
+        load  r1, pid
+        mul   r1, r1, {factor}
+        store pid, r1
+        halt
+    """)
+
+
+def sum_reduction() -> Program:
+    """Tree-sum the nproc-cell array at address 0; result lands in MEM[0].
+
+    Classic log-depth pairwise reduction: at stride s, processors with
+    ``pid % 2s == 0`` add in the cell s away.  Requires nproc a power of
+    two.
+    """
+    return assemble("""
+        li   r1, 1              # stride
+    loop:
+        bge  r1, nproc, done
+        mul  r2, r1, 2          # group size
+        mod  r3, pid, r2
+        bne  r3, 0, skip        # only group leaders act
+        add  r4, pid, r1
+        bge  r4, nproc, skip
+        load r5, pid
+        load r6, r4
+        add  r5, r5, r6
+        store pid, r5
+    skip:
+        mul  r1, r1, 2
+        jmp  loop
+    done:
+        halt
+    """)
+
+
+def array_reverse() -> Program:
+    """Reverse the nproc-cell array at 0 into the nproc cells at nproc."""
+    return assemble("""
+        load r1, pid
+        li   r2, 0
+        sub  r3, nproc, 1
+        sub  r3, r3, pid        # mirror index
+        add  r3, r3, nproc      # destination base nproc
+        store r3, r1
+        halt
+    """)
+
+
+def histogram(buckets: int) -> Program:
+    """Count values into ``buckets`` bins.
+
+    Layout: input array (nproc cells at 0) holds small non-negative
+    values; bins live at ``nproc .. nproc + buckets``.  Each processor
+    claims bin b on round b via priority-CRCW writes of partial counts —
+    a deliberately concurrent-write-heavy kernel.  For test simplicity
+    every processor serially scans the input for its own bin value
+    (processors with pid >= buckets idle), so the run takes O(nproc)
+    memory steps and exercises heavy concurrent reads.
+    """
+    return assemble(f"""
+        bge  r1, 1, end          # r1 starts 0: fallthrough guard (never taken)
+        bge  pid, {buckets}, end # only the first `buckets` processors count
+        li   r2, 0               # count
+        li   r3, 0               # index
+    scan:
+        bge  r3, nproc, emit
+        load r4, r3
+        bne  r4, pid, next       # bin id == pid
+        add  r2, r2, 1
+    next:
+        add  r3, r3, 1
+        jmp  scan
+    emit:
+        add  r5, pid, nproc
+        store r5, r2
+    end:
+        halt
+    """)

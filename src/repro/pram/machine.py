@@ -1,0 +1,217 @@
+"""The PRAM machine: synchronous step-level shared-memory access.
+
+One :meth:`PRAMMachine.read` or :meth:`PRAMMachine.write` call is one
+PRAM step: every processor issues at most one access (the sentinel
+``IDLE = -1`` marks idle processors).  The machine
+
+* combines concurrent reads (CREW/CRCW semantics): distinct cells are
+  fetched once from the backend and fanned back out;
+* resolves concurrent writes by the priority rule (lowest processor id
+  wins), the strongest classical CRCW convention — algorithms written
+  for weaker models (EREW/CREW) run unchanged;
+* forwards the deduplicated, distinct-cell request set to the backend,
+  which is exactly the shape Section 3's simulation consumes ("each of
+  the n processors wants to read or write a distinct variable").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.backends import Backend
+
+__all__ = ["IDLE", "PRAMMachine"]
+
+IDLE = -1
+
+
+#: Supported concurrent-access conventions, strongest to weakest:
+#: priority-CRCW (lowest id wins), combining-CRCW (sum / max of the
+#: conflicting values), CREW (concurrent writes are an error), EREW
+#: (concurrent reads are an error too).
+WRITE_POLICIES = ("priority", "sum", "max", "crew", "erew")
+
+
+class PRAMMachine:
+    """A P-processor PRAM over a pluggable memory backend.
+
+    Parameters
+    ----------
+    backend : Backend
+        Memory semantics + cost accounting.
+    num_processors : int
+        P; each step carries at most one request per processor.
+    policy : str
+        Concurrent-access convention (see ``WRITE_POLICIES``):
+        ``"priority"`` (default) — lowest processor id wins write
+        conflicts; ``"sum"``/``"max"`` — combining CRCW; ``"crew"`` —
+        write conflicts raise; ``"erew"`` — read conflicts raise too.
+
+    Attributes
+    ----------
+    pram_steps : int
+        Number of PRAM steps executed so far.
+    """
+
+    def __init__(self, backend: Backend, num_processors: int, *, policy: str = "priority"):
+        if num_processors < 1:
+            raise ValueError("need at least one processor")
+        if num_processors > backend.max_requests:
+            raise ValueError(
+                f"{num_processors} processors exceed backend capacity "
+                f"{backend.max_requests}"
+            )
+        if policy not in WRITE_POLICIES:
+            raise ValueError(f"policy must be one of {WRITE_POLICIES}, got {policy!r}")
+        self.backend = backend
+        self.num_processors = int(num_processors)
+        self.policy = policy
+        self.pram_steps = 0
+
+    # -- step API ---------------------------------------------------------
+
+    def _check_addrs(self, addrs) -> np.ndarray:
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.shape != (self.num_processors,):
+            raise ValueError(
+                f"addrs must have shape ({self.num_processors},), got {addrs.shape}"
+            )
+        active = addrs != IDLE
+        if np.any((addrs[active] < 0) | (addrs[active] >= self.backend.memory_size)):
+            raise ValueError("address out of shared-memory range")
+        return addrs
+
+    def read(self, addrs) -> np.ndarray:
+        """One parallel read step; idle processors get 0.
+
+        Concurrent reads of the same cell are combined (all CREW/CRCW
+        policies); under ``"erew"`` they raise instead.
+        """
+        addrs = self._check_addrs(addrs)
+        out = np.zeros(self.num_processors, dtype=np.int64)
+        active = np.nonzero(addrs != IDLE)[0]
+        if active.size:
+            unique, inverse = np.unique(addrs[active], return_inverse=True)
+            if self.policy == "erew" and unique.size != active.size:
+                raise RuntimeError("EREW violation: concurrent read")
+            values = self.backend.read_step(unique)
+            out[active] = values[inverse]
+        self.pram_steps += 1
+        return out
+
+    def write(self, addrs, values) -> None:
+        """One parallel write step; conflicts resolved per the policy."""
+        addrs = self._check_addrs(addrs)
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.int64), (self.num_processors,)
+        )
+        active = np.nonzero(addrs != IDLE)[0]
+        if active.size:
+            unique, first_idx = np.unique(addrs[active], return_index=True)
+            if self.policy in ("crew", "erew") and unique.size != active.size:
+                raise RuntimeError(f"{self.policy.upper()} violation: concurrent write")
+            if self.policy in ("sum", "max") and unique.size != active.size:
+                # Combining CRCW: fold all conflicting values per cell.
+                inverse = np.searchsorted(unique, addrs[active])
+                combined = np.zeros(unique.size, dtype=np.int64)
+                if self.policy == "sum":
+                    np.add.at(combined, inverse, values[active])
+                else:
+                    combined[:] = np.iinfo(np.int64).min
+                    np.maximum.at(combined, inverse, values[active])
+                self.backend.write_step(unique, combined)
+            else:
+                # Priority resolution: first occurrence (lowest processor
+                # id) of each address wins; also the conflict-free path.
+                self.backend.write_step(unique, values[active][first_idx])
+        self.pram_steps += 1
+
+    def step(self, read_addrs, write_addrs, write_values) -> np.ndarray:
+        """One full PRAM step: some processors read, others write.
+
+        This is the canonical PRAM step shape ("each processor reads or
+        writes one cell"): on the mesh backend it costs a *single*
+        simulated journey instead of a read step plus a write step.  A
+        processor may not do both in the same step (use two steps).
+        Returns the values fetched by reading processors (0 elsewhere);
+        readers of concurrently-written cells see the pre-step value.
+        """
+        read_addrs = self._check_addrs(read_addrs)
+        write_addrs = self._check_addrs(write_addrs)
+        both = (read_addrs != IDLE) & (write_addrs != IDLE)
+        if np.any(both):
+            raise ValueError(
+                f"processor(s) {np.nonzero(both)[0][:5].tolist()} cannot read "
+                "and write in the same step"
+            )
+        write_values = np.broadcast_to(
+            np.asarray(write_values, dtype=np.int64), (self.num_processors,)
+        )
+        readers = np.nonzero(read_addrs != IDLE)[0]
+        writers = np.nonzero(write_addrs != IDLE)[0]
+        if self.policy == "erew":
+            all_cells = np.concatenate([read_addrs[readers], write_addrs[writers]])
+            if np.unique(all_cells).size != all_cells.size:
+                raise RuntimeError("EREW violation: concurrent access")
+        unique_r, inv_r = (
+            np.unique(read_addrs[readers], return_inverse=True)
+            if readers.size
+            else (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        )
+        # Resolve write conflicts by the machine's policy.
+        if writers.size:
+            w_cells, first_idx = np.unique(write_addrs[writers], return_index=True)
+            if self.policy in ("crew",) and w_cells.size != writers.size:
+                raise RuntimeError("CREW violation: concurrent write")
+            if self.policy in ("sum", "max") and w_cells.size != writers.size:
+                inverse = np.searchsorted(w_cells, write_addrs[writers])
+                combined = np.zeros(w_cells.size, dtype=np.int64)
+                if self.policy == "sum":
+                    np.add.at(combined, inverse, write_values[writers])
+                else:
+                    combined[:] = np.iinfo(np.int64).min
+                    np.maximum.at(combined, inverse, write_values[writers])
+                w_vals = combined
+            else:
+                w_vals = write_values[writers][first_idx]
+        else:
+            w_cells = np.zeros(0, dtype=np.int64)
+            w_vals = np.zeros(0, dtype=np.int64)
+
+        fetched = self.backend.mixed_step(unique_r, w_cells, w_vals)
+        out = np.zeros(self.num_processors, dtype=np.int64)
+        if readers.size:
+            out[readers] = fetched[inv_r]
+        self.pram_steps += 1
+        return out
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def scatter(self, base: int, values: np.ndarray) -> None:
+        """Store ``values[i]`` at address ``base + i`` (one step if the
+        array fits the processor count, else several)."""
+        values = np.asarray(values, dtype=np.int64)
+        P = self.num_processors
+        for lo in range(0, values.size, P):
+            chunk = values[lo : lo + P]
+            addrs = np.full(P, IDLE, dtype=np.int64)
+            addrs[: chunk.size] = base + lo + np.arange(chunk.size)
+            vals = np.zeros(P, dtype=np.int64)
+            vals[: chunk.size] = chunk
+            self.write(addrs, vals)
+
+    def gather(self, base: int, count: int) -> np.ndarray:
+        """Fetch ``count`` consecutive cells starting at ``base``."""
+        P = self.num_processors
+        out = np.empty(count, dtype=np.int64)
+        for lo in range(0, count, P):
+            size = min(P, count - lo)
+            addrs = np.full(P, IDLE, dtype=np.int64)
+            addrs[:size] = base + lo + np.arange(size)
+            out[lo : lo + size] = self.read(addrs)[:size]
+        return out
+
+    @property
+    def cost(self) -> float:
+        """Backend-specific cumulative cost (mesh steps or unit steps)."""
+        return self.backend.cost

@@ -1,0 +1,14 @@
+"""The access protocol (Section 3.3): staged routing of request packets.
+
+After CULLING fixes the target sets, one packet per selected copy travels
+origin -> copy -> origin in ``k + 1`` routing stages that descend through
+the nested tessellations; the per-page congestion bounds of Theorem 3
+keep every stage's routing problem cheap.  Stage step counts follow the
+paper's accounting (Eqs. 5-7) and can be produced either by the
+cycle-accurate engine or by the analytic cost model.
+"""
+
+from repro.protocol.access import AccessProtocol, AccessResult, StageMetrics
+from repro.protocol.stats import SimulationReport
+
+__all__ = ["AccessProtocol", "AccessResult", "SimulationReport", "StageMetrics"]

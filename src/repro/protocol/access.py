@@ -1,0 +1,323 @@
+"""Implementation of the k+1-stage access protocol (Section 3.3).
+
+Stage numbering follows the paper: stages run from ``k + 1`` down to 1.
+
+* Stage ``k + 1`` — on the whole mesh, send each packet into the
+  level-k submesh holding its destination module, spreading the packets
+  of each submesh evenly over that submesh's processors (sort-and-rank).
+* Stage ``i`` (``k >= i >= 2``) — in parallel within every level-i
+  submesh, move each packet into its destination's level-(i-1) submesh,
+  again spread evenly.
+* Stage 1 — deliver each packet to the processor storing its copy and
+  perform the memory access.
+* Return — packets retrace their recorded path so every requester gets
+  its value; the reverse journey's cost mirrors the forward one
+  stage-by-stage (measured explicitly in cycle mode).
+
+Two execution engines:
+
+* ``engine="cycle"`` — every stage's packet movement is simulated by the
+  synchronous store-and-forward engine; sorting/ranking data movement is
+  order-equivalent to shearsort, charged at its measured step count.
+* ``engine="model"`` — stage movement is charged with the Theorem 2
+  closed form on the *actual* measured per-node loads (delta_i) and
+  submesh sizes, enabling large-n sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.culling import CullingResult, cull
+from repro.culling.faults import cull_with_faults
+from repro.hmos.faults import FaultInjector
+from repro.hmos.scheme import HMOS
+from repro.mesh.costmodel import CostModel
+from repro.mesh.engine import SynchronousEngine
+from repro.mesh.packets import PacketBatch
+from repro.mesh.sorting import shearsort_steps
+from repro.util.grouping import rank_within_groups
+
+__all__ = ["AccessProtocol", "AccessResult", "StageMetrics"]
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """Measured accounting of one routing stage.
+
+    Mirrors the quantities of Eqs. (5)-(7): ``t_nodes`` is the operating
+    submesh size, ``delta_in``/``delta_out`` the max per-node packet
+    loads at stage start/end.
+    """
+
+    stage: int
+    t_nodes: int
+    delta_in: int
+    delta_out: int
+    sort_steps: float
+    route_steps: float
+
+    @property
+    def steps(self) -> float:
+        return self.sort_steps + self.route_steps
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one simulated PRAM memory step.
+
+    Attributes
+    ----------
+    op : str
+        ``"read"`` or ``"write"``.
+    variables : np.ndarray
+        The (distinct) requested variables.
+    values : np.ndarray or None
+        For reads: the retrieved values, aligned with ``variables``.
+    culling : CullingResult
+        Copy-selection diagnostics (incl. its Eq. 2 time charge).
+    stages : tuple[StageMetrics, ...]
+        Forward-journey stages, outermost first.
+    return_steps : float
+        Cost of the destination->origin journey.
+    """
+
+    op: str
+    variables: np.ndarray
+    values: np.ndarray | None
+    culling: CullingResult
+    stages: tuple[StageMetrics, ...]
+    return_steps: float
+
+    @property
+    def protocol_steps(self) -> float:
+        """Forward + return routing cost (T_protocol)."""
+        return sum(s.steps for s in self.stages) + self.return_steps
+
+    @property
+    def total_steps(self) -> float:
+        """Full simulation cost of the PRAM step (T_sim = culling + protocol)."""
+        return self.culling.charged_steps + self.protocol_steps
+
+
+def _max_per_node(nodes: np.ndarray, n: int) -> int:
+    if nodes.size == 0:
+        return 0
+    return int(np.bincount(nodes, minlength=n).max())
+
+
+class AccessProtocol:
+    """Executes read/write steps against one :class:`HMOS` instance.
+
+    Parameters
+    ----------
+    scheme : HMOS
+    engine : {"cycle", "model"}
+        Cycle-accurate simulation vs closed-form charging (see module
+        docstring).
+    cost_model : CostModel, optional
+        Constants used for charged phases.
+    faults : FaultInjector, optional
+        When given, copy selection is restricted to surviving copies
+        (extension beyond the paper; consistency is preserved as long as
+        every requested variable keeps a target set).
+    """
+
+    def __init__(
+        self,
+        scheme: HMOS,
+        *,
+        engine: str = "cycle",
+        cost_model: CostModel | None = None,
+        faults: FaultInjector | None = None,
+    ):
+        if engine not in ("cycle", "model"):
+            raise ValueError(f"engine must be 'cycle' or 'model', got {engine!r}")
+        self.scheme = scheme
+        self.engine = engine
+        self.cost_model = cost_model or CostModel()
+        self.faults = faults
+        self._sync = SynchronousEngine(scheme.mesh) if engine == "cycle" else None
+
+    # -- public API -----------------------------------------------------------
+
+    def read(self, variables) -> AccessResult:
+        """Satisfy a set of distinct read requests; returns values."""
+        return self._execute(variables, "read", None, timestamp=0)
+
+    def write(self, variables, values, *, timestamp: int) -> AccessResult:
+        """Satisfy a set of distinct write requests at the given time."""
+        return self._execute(variables, "write", values, timestamp=timestamp)
+
+    def mixed(
+        self, variables, is_write, values, *, timestamp: int
+    ) -> AccessResult:
+        """One PRAM step where each processor reads *or* writes.
+
+        This is the step shape the paper actually simulates ("each of
+        the n processors wants to read or write a distinct variable"):
+        one culling pass and one routed journey serve both operation
+        kinds; at the copies, writes stamp ``timestamp`` and reads
+        return the newest value (write-vars read back their own new
+        value, matching the read-compute-write PRAM convention).
+
+        Parameters
+        ----------
+        is_write : bool array aligned with ``variables``
+        values : int array aligned with ``variables`` (ignored at read
+            positions)
+
+        Returns
+        -------
+        AccessResult with ``op="mixed"``; ``values[i]`` is the
+        *pre-step* value of ``variables[i]`` (the read phase precedes
+        the write phase, so concurrent readers of a written variable see
+        the old value).
+        """
+        return self._execute(
+            variables, "mixed", values, timestamp=timestamp, is_write=is_write
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _execute(
+        self, variables, op, values, *, timestamp: int, is_write=None
+    ) -> AccessResult:
+        scheme = self.scheme
+        params = scheme.params
+        variables = np.asarray(variables, dtype=np.int64)
+        if op in ("write", "mixed"):
+            values = np.asarray(values, dtype=np.int64)
+            if values.shape != variables.shape:
+                raise ValueError("values must align with variables")
+        if op == "mixed":
+            is_write = np.asarray(is_write, dtype=bool)
+            if is_write.shape != variables.shape:
+                raise ValueError("is_write must align with variables")
+
+        if self.faults is not None and self.faults.failed_nodes.size:
+            culling_res: CullingResult = cull_with_faults(
+                scheme,
+                variables,
+                self.faults.allowed_mask(variables),
+                cost_model=self.cost_model,
+            )
+        else:
+            culling_res = cull(scheme, variables, cost_model=self.cost_model)
+        sel = culling_res.selected
+
+        # One packet per selected copy.
+        rows, pkt_paths = np.nonzero(sel)
+        pkt_vars = variables[rows]
+        chains = scheme.placement.chains(pkt_vars, pkt_paths)
+        copy_nodes = scheme.placement.copy_nodes(pkt_vars, pkt_paths, chains)
+
+        # Origins: requester j sits at mesh node j (any fixed bijection
+        # between PRAM processors and mesh nodes works).
+        origins = rows.astype(np.int64)
+
+        k = params.k
+        n = params.n
+        positions = [origins]
+        stages: list[StageMetrics] = []
+        cur = origins
+        for stage in range(k + 1, 0, -1):
+            if stage == 1:
+                targets = copy_nodes
+                t_nodes = self._max_span(1, pkt_vars, pkt_paths, chains)
+                sort_charge = 0.0  # stage 1 is pure (delta_1, delta_0)-routing
+            else:
+                level = stage - 1
+                keys = scheme.placement.page_keys(level, pkt_vars, pkt_paths, chains)
+                first, last = scheme.placement.page_node_spans(
+                    level, pkt_vars, pkt_paths, chains
+                )
+                rank = rank_within_groups(keys)
+                span_len = last - first + 1
+                targets = scheme.mesh.node_of_rank(first + rank % span_len)
+                t_nodes = (
+                    n if stage == k + 1 else self._max_span(stage, pkt_vars, pkt_paths, chains)
+                )
+                sort_charge = self._sort_charge(
+                    _max_per_node(cur, n), t_nodes
+                )
+            delta_in = _max_per_node(cur, n)
+            delta_out = _max_per_node(targets, n)
+            route_steps = self._route(cur, targets, delta_in, delta_out, t_nodes)
+            stages.append(
+                StageMetrics(
+                    stage=stage,
+                    t_nodes=t_nodes,
+                    delta_in=delta_in,
+                    delta_out=delta_out,
+                    sort_steps=sort_charge,
+                    route_steps=route_steps,
+                )
+            )
+            positions.append(targets)
+            cur = targets
+
+        # Memory access at the copies.  Read phase precedes write phase
+        # (the PRAM read-compute-write convention).
+        out_values = None
+        if op == "write":
+            scheme.memory.write(pkt_vars, pkt_paths, values[rows], timestamp)
+        elif op == "read":
+            out_values = scheme.memory.read_latest_masked(variables, sel)
+        else:  # mixed: returned values are PRE-write (read phase first),
+            # so a concurrent reader of a written variable sees the old
+            # value — the PRAM read-compute-write convention.
+            out_values = scheme.memory.read_latest_masked(variables, sel)
+            w_rows = is_write[rows]
+            scheme.memory.write(
+                pkt_vars[w_rows], pkt_paths[w_rows], values[rows][w_rows], timestamp
+            )
+
+        # Return journey: retrace the recorded path in reverse.  A reversed
+        # routing schedule takes exactly as many steps as the forward one,
+        # which is why the paper notes the origin->destination part
+        # dominates; the model engine charges the mirror cost, the cycle
+        # engine measures the actual reversed batches.
+        return_steps = 0.0
+        if self.engine == "model":
+            return_steps = float(sum(s.route_steps for s in stages))
+        else:
+            for leg in range(len(positions) - 1, 0, -1):
+                src, dst = positions[leg], positions[leg - 1]
+                delta_in = _max_per_node(src, n)
+                delta_out = _max_per_node(dst, n)
+                t_nodes = stages[leg - 1].t_nodes
+                return_steps += self._route(src, dst, delta_in, delta_out, t_nodes)
+
+        return AccessResult(
+            op=op,
+            variables=variables,
+            values=out_values,
+            culling=culling_res,
+            stages=tuple(stages),
+            return_steps=return_steps,
+        )
+
+    def _max_span(self, level: int, pkt_vars, pkt_paths, chains) -> int:
+        first, last = self.scheme.placement.page_node_spans(
+            level, pkt_vars, pkt_paths, chains
+        )
+        return int((last - first + 1).max()) if first.size else 1
+
+    def _sort_charge(self, delta: int, t_nodes: int) -> float:
+        """Charge for sort-and-rank within submeshes of ``t_nodes`` nodes."""
+        if delta == 0:
+            return 0.0  # no packets anywhere: nothing to sort
+        if self.engine == "model":
+            return self.cost_model.sort_steps(delta, t_nodes)
+        side = max(2, 1 << max(0, (max(t_nodes, 1) - 1).bit_length() // 2))
+        return float(max(delta, 1) * shearsort_steps(side))
+
+    def _route(self, src, dst, delta_in, delta_out, t_nodes) -> float:
+        if src.size == 0 or np.array_equal(src, dst):
+            return 0.0
+        if self.engine == "cycle":
+            return float(self._sync.route(PacketBatch(src, dst)).steps)
+        return self.cost_model.route_steps(delta_in, delta_out, t_nodes)

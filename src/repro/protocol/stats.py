@@ -1,0 +1,107 @@
+"""Aggregation of access results over multi-step simulations.
+
+A PRAM program issues many memory steps; :class:`SimulationReport`
+accumulates their :class:`AccessResult`s and answers the questions a
+user of the simulator asks: total and per-operation cost, where the
+time went (culling / sorting / routing / return), worst congestion
+observed, and the effective slowdown versus an ideal PRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.protocol.access import AccessResult
+
+__all__ = ["SimulationReport"]
+
+
+@dataclass
+class SimulationReport:
+    """Mutable accumulator of per-step access results."""
+
+    results: list[AccessResult] = field(default_factory=list)
+
+    def record(self, result: AccessResult) -> AccessResult:
+        """Add one step's result (returns it, for chaining)."""
+        self.results.append(result)
+        return result
+
+    def extend(self, results) -> None:
+        for r in results:
+            self.record(r)
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def steps(self) -> int:
+        """Number of PRAM memory steps recorded."""
+        return len(self.results)
+
+    @property
+    def total_mesh_steps(self) -> float:
+        return float(sum(r.total_steps for r in self.results))
+
+    @property
+    def mean_step_cost(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.total_mesh_steps / self.steps
+
+    def breakdown(self) -> dict[str, float]:
+        """Where the time went, summed over all steps."""
+        out = {"culling": 0.0, "sorting": 0.0, "routing": 0.0, "return": 0.0}
+        for r in self.results:
+            out["culling"] += r.culling.charged_steps
+            out["sorting"] += sum(s.sort_steps for s in r.stages)
+            out["routing"] += sum(s.route_steps for s in r.stages)
+            out["return"] += r.return_steps
+        return out
+
+    def worst_delta(self) -> int:
+        """Largest per-node packet load seen at any stage boundary."""
+        worst = 0
+        for r in self.results:
+            for s in r.stages:
+                worst = max(worst, s.delta_in, s.delta_out)
+        return worst
+
+    def worst_page_load(self) -> int:
+        """Largest post-culling page congestion across all steps."""
+        worst = 0
+        for r in self.results:
+            for it in r.culling.iterations:
+                worst = max(worst, it.max_page_load)
+        return worst
+
+    def op_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.results:
+            counts[r.op] = counts.get(r.op, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        if not self.results:
+            return "SimulationReport: no steps recorded"
+        bd = self.breakdown()
+        total = self.total_mesh_steps
+        shares = ", ".join(
+            f"{name} {100 * v / total:.0f}%" for name, v in bd.items() if total
+        )
+        ops = ", ".join(f"{k}: {v}" for k, v in sorted(self.op_counts().items()))
+        sizes = np.array([r.variables.size for r in self.results])
+        return "\n".join(
+            [
+                f"SimulationReport: {self.steps} memory steps ({ops})",
+                f"  total mesh steps: {total:.0f} "
+                f"(mean {self.mean_step_cost:.0f}/step)",
+                f"  requests/step: min {sizes.min()}, mean {sizes.mean():.0f}, "
+                f"max {sizes.max()}",
+                f"  time share: {shares}",
+                f"  worst per-node load: {self.worst_delta()}; "
+                f"worst page load: {self.worst_page_load()}",
+            ]
+        )

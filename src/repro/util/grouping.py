@@ -1,0 +1,34 @@
+"""Stable rank of each element within its group.
+
+The access protocol's sort-and-rank phases and Section 2's staged
+routing both reduce to this primitive: given each packet's group id
+(destination submesh / page key), assign ranks 0, 1, ... within every
+group, stably in input order — the outcome of the on-mesh sort-and-rank
+whose movement cost is charged separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_within_groups"]
+
+
+def rank_within_groups(group_ids: np.ndarray) -> np.ndarray:
+    """Stable 0-based rank of each element among equals.
+
+    >>> rank_within_groups(np.array([5, 3, 5, 5, 3]))
+    array([0, 0, 1, 2, 1])
+    """
+    group_ids = np.asarray(group_ids)
+    order = np.argsort(group_ids, kind="stable")
+    sorted_groups = group_ids[order]
+    new_group = np.ones(group_ids.size, dtype=bool)
+    if group_ids.size:
+        new_group[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    run_start = np.maximum.accumulate(
+        np.where(new_group, np.arange(group_ids.size), 0)
+    )
+    ranks = np.empty(group_ids.size, dtype=np.int64)
+    ranks[order] = np.arange(group_ids.size) - run_start
+    return ranks

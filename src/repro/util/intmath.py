@@ -1,0 +1,118 @@
+"""Exact integer arithmetic helpers.
+
+All routines operate on Python ints (arbitrary precision) or NumPy integer
+arrays and never round through floating point, because the results are used
+as array indices, field-element encodings and submesh boundaries where an
+off-by-one silently corrupts a memory map.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ceil_div",
+    "ceil_log",
+    "digits_from_int",
+    "int_from_digits",
+    "is_perfect_square",
+    "is_power_of",
+    "isqrt_exact",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for integers without floating point.
+
+    ``b`` must be positive; ``a`` may be any integer.
+    """
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -((-a) // b)
+
+
+def ceil_log(value: int, base: int) -> int:
+    """Return the smallest ``e >= 0`` with ``base**e >= value``.
+
+    Exact (no ``math.log`` rounding hazards).  ``base`` must be >= 2 and
+    ``value`` >= 1.
+    """
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    e = 0
+    p = 1
+    while p < value:
+        p *= base
+        e += 1
+    return e
+
+
+def is_power_of(value: int, base: int) -> bool:
+    """Return True iff ``value == base**e`` for some integer ``e >= 0``."""
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+def isqrt_exact(value: int) -> int:
+    """Return the exact integer square root of a perfect square.
+
+    Raises ``ValueError`` if ``value`` is not a perfect square, which is the
+    correct failure mode when a caller expects a square mesh.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    root = math.isqrt(value)
+    if root * root != value:
+        raise ValueError(f"{value} is not a perfect square")
+    return root
+
+
+def is_perfect_square(value: int) -> bool:
+    """Return True iff ``value`` is a perfect square (0 counts)."""
+    if value < 0:
+        return False
+    root = math.isqrt(value)
+    return root * root == value
+
+
+def digits_from_int(value: int | np.ndarray, base: int, width: int) -> np.ndarray:
+    """Return base-``base`` digits of ``value``, least significant first.
+
+    Accepts a scalar or an integer array; the digit axis is appended last,
+    so the result has shape ``(*value.shape, width)``.  Values must fit in
+    ``width`` digits.
+    """
+    arr = np.asarray(value, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ValueError("digits_from_int requires non-negative values")
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    out = np.empty(arr.shape + (width,), dtype=np.int64)
+    rest = arr.copy()
+    for pos in range(width):
+        out[..., pos] = rest % base
+        rest //= base
+    if np.any(rest != 0):
+        raise ValueError(f"value does not fit in {width} base-{base} digits")
+    return out
+
+
+def int_from_digits(digits: Sequence[int] | np.ndarray, base: int) -> np.ndarray:
+    """Inverse of :func:`digits_from_int` (digit axis last, LSD first)."""
+    arr = np.asarray(digits, dtype=np.int64)
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if np.any((arr < 0) | (arr >= base)):
+        raise ValueError(f"digits out of range for base {base}")
+    weights = base ** np.arange(arr.shape[-1], dtype=np.int64)
+    return (arr * weights).sum(axis=-1)

@@ -1,0 +1,151 @@
+"""Tests for the closed-form bounds, parameter choice and fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    choose_parameters,
+    delta_bound,
+    fit_power_law,
+    polylog_parameters,
+    protocol_time_bound,
+    simulation_time_bound,
+    stage_time_bounds,
+    submesh_size,
+    theorem1_exponent,
+)
+
+
+class TestBounds:
+    def test_submesh_sizes_shrink_with_level_growth(self):
+        # t_i grows with i (higher levels = bigger submeshes).
+        ts = [submesh_size(4096, 1.5, 3, 3, i) for i in (1, 2, 3)]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_delta_outermost(self):
+        assert delta_bound(1024, 1.5, 3, 2, 3) == 9.0  # q^k at stage k+1
+
+    def test_delta_decreases_inward_for_small_alpha(self):
+        d = [delta_bound(4096, 1.2, 3, 2, i) for i in (1, 2)]
+        assert d[0] < d[1] * 3**2  # monotone up to the q factor
+
+    def test_stage_bounds_keys(self):
+        bounds = stage_time_bounds(4096, 1.8, 3, 3)
+        assert set(bounds) == {4, 3, 2, 1}
+        assert all(v > 0 for v in bounds.values())
+
+    def test_stage1_is_qk_sqrtn(self):
+        assert stage_time_bounds(1024, 1.5, 3, 2)[1] == 9 * 32
+
+    def test_protocol_bound_is_sum(self):
+        n, a, q, k = 4096, 1.7, 3, 3
+        assert protocol_time_bound(n, a, q, k) == pytest.approx(
+            sum(stage_time_bounds(n, a, q, k).values())
+        )
+
+    def test_simulation_bound_adds_culling(self):
+        n, a, q, k = 1024, 1.5, 3, 2
+        assert simulation_time_bound(n, a, q, k) == pytest.approx(
+            k * q**k * n**0.5 + protocol_time_bound(n, a, q, k)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            submesh_size(4096, 2.5, 3, 2, 1)
+        with pytest.raises(ValueError):
+            delta_bound(4096, 1.5, 3, 2, 5)
+        with pytest.raises(ValueError):
+            stage_time_bounds(2, 1.5, 3, 2)
+
+
+class TestTheorem1Exponent:
+    def test_small_alpha(self):
+        assert theorem1_exponent(1.3, epsilon=0.1) == 0.6
+
+    def test_middle_band(self):
+        assert theorem1_exponent(1.6) == pytest.approx(0.5 + 0.6 / 16)
+
+    def test_large_band(self):
+        assert theorem1_exponent(2.0) == pytest.approx(0.5 + 1 / 8)
+
+    def test_bands_continuous_at_5_3(self):
+        left = theorem1_exponent(5 / 3 - 1e-12)
+        right = theorem1_exponent(5 / 3 + 1e-12)
+        assert left == pytest.approx(right, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_exponent(1.0)
+        with pytest.raises(ValueError):
+            theorem1_exponent(1.4, epsilon=0)
+
+
+class TestChooseParameters:
+    def test_always_q3(self):
+        for alpha in (1.2, 1.5, 1.6, 1.8, 2.0):
+            q, _ = choose_parameters(alpha)
+            assert q == 3
+
+    def test_small_alpha_k_grows_as_eps_shrinks(self):
+        _, k_loose = choose_parameters(1.5, epsilon=0.25)
+        _, k_tight = choose_parameters(1.5, epsilon=0.01)
+        assert k_tight >= k_loose
+
+    def test_middle_alpha_k3(self):
+        assert choose_parameters(1.6) == (3, 3)
+
+    def test_alpha2_endpoint_k2(self):
+        assert choose_parameters(2.0) == (3, 2)
+
+    def test_polylog_k_grows_with_n(self):
+        _, k_small = polylog_parameters(1.5, 2**10)
+        _, k_big = polylog_parameters(1.5, 2**60)
+        assert k_big >= k_small
+        assert k_small >= 1
+
+    def test_polylog_rejects_large_alpha(self):
+        with pytest.raises(ValueError):
+            polylog_parameters(1.8, 4096)
+
+
+class TestFitting:
+    def test_exact_power_law(self):
+        ns = np.array([64, 256, 1024, 4096])
+        fit = fit_power_law(ns, 3.5 * ns**0.75)
+        assert fit.exponent == pytest.approx(0.75)
+        assert fit.coefficient == pytest.approx(3.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_roundtrip(self):
+        ns = np.array([16.0, 64.0, 256.0])
+        fit = fit_power_law(ns, 2 * ns)
+        np.testing.assert_allclose(fit.predict(ns), 2 * ns)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        ns = np.logspace(2, 5, 12)
+        vals = 7 * ns**0.6 * np.exp(rng.normal(0, 0.05, ns.size))
+        fit = fit_power_law(ns, vals)
+        assert fit.exponent == pytest.approx(0.6, abs=0.05)
+        assert fit.r_squared > 0.98
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 3.0])
+
+    @given(
+        st.floats(0.1, 2.0),
+        st.floats(0.5, 100.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_exact_parameters(self, e, c):
+        ns = np.array([10.0, 100.0, 1000.0])
+        fit = fit_power_law(ns, c * ns**e)
+        assert fit.exponent == pytest.approx(e, rel=1e-6)
+        assert fit.coefficient == pytest.approx(c, rel=1e-5)

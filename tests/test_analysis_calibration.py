@@ -1,0 +1,52 @@
+"""Tests for cost-model calibration against the cycle engine."""
+
+import pytest
+
+from repro.analysis import calibrate_cost_model
+from repro.mesh import Mesh, PacketBatch, SynchronousEngine
+import numpy as np
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate_cost_model(sides=(8, 16), seed=3)
+
+    def test_constants_positive(self, report):
+        assert report.model.c_route > 0
+        assert report.model.c_sort > 0
+
+    def test_upper_bounds_samples(self, report):
+        """With fitted constants, no calibration sample exceeds its charge."""
+        assert report.max_route_ratio <= 1.0 + 1e-9
+        assert report.max_sort_ratio <= 1.0 + 1e-9
+
+    def test_upper_bounds_fresh_instances(self, report):
+        """The fit generalizes to unseen random instances."""
+        mesh = Mesh(16)
+        engine = SynchronousEngine(mesh)
+        rng = np.random.default_rng(99)
+        for _ in range(5):
+            src = np.arange(mesh.n)
+            dst = rng.integers(0, mesh.n, mesh.n)
+            batch = PacketBatch(src, dst)
+            measured = engine.route(batch).steps
+            charge = report.model.route_steps(
+                batch.max_per_source(), batch.max_per_destination(), mesh.n
+            )
+            assert measured <= 1.5 * charge
+
+    def test_sample_count(self, report):
+        assert report.samples == 12  # 6 instances x 2 sides
+
+    def test_deterministic(self):
+        a = calibrate_cost_model(sides=(8,), seed=1)
+        b = calibrate_cost_model(sides=(8,), seed=1)
+        assert a.model == b.model
+
+    def test_sort_constant_matches_shearsort(self, report):
+        from repro.mesh import shearsort_steps
+
+        # c_sort * sqrt(n) must cover the measured shearsort steps.
+        for side in (8, 16):
+            assert report.model.sort_steps(1, side * side) >= shearsort_steps(side)

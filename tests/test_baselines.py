@@ -1,0 +1,184 @@
+"""Tests for the baseline memory schemes and their evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CarterWegmanHash,
+    HashedScheme,
+    MehlhornVishkinScheme,
+    SingleCopyScheme,
+    UpfalWigdersonScheme,
+    adversarial_requests,
+    evaluate_scheme,
+    uniform_requests,
+)
+from repro.mesh import Mesh
+
+N = 64
+NUM_VARS = 4096
+
+
+class TestCarterWegman:
+    def test_range(self):
+        h = CarterWegmanHash(NUM_VARS, N, seed=1)
+        out = h(np.arange(NUM_VARS))
+        assert out.min() >= 0 and out.max() < N
+
+    def test_deterministic(self):
+        h1 = CarterWegmanHash(NUM_VARS, N, seed=5)
+        h2 = CarterWegmanHash(NUM_VARS, N, seed=5)
+        np.testing.assert_array_equal(h1(np.arange(100)), h2(np.arange(100)))
+
+    def test_different_seeds_differ(self):
+        h1 = CarterWegmanHash(NUM_VARS, N, seed=1)
+        h2 = CarterWegmanHash(NUM_VARS, N, seed=2)
+        assert not np.array_equal(h1(np.arange(100)), h2(np.arange(100)))
+
+    def test_roughly_uniform(self):
+        h = CarterWegmanHash(NUM_VARS, N, seed=3)
+        counts = np.bincount(h(np.arange(NUM_VARS)), minlength=N)
+        assert counts.max() <= 4 * NUM_VARS / N
+
+    def test_preimages(self):
+        h = CarterWegmanHash(NUM_VARS, N, seed=4)
+        pre = h.preimages_of(7, 10)
+        np.testing.assert_array_equal(h(pre), 7)
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ValueError):
+            CarterWegmanHash(10, 4)(np.array([10]))
+
+
+class TestSchemes:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: SingleCopyScheme(NUM_VARS, N),
+            lambda: HashedScheme(NUM_VARS, N, seed=1),
+            lambda: MehlhornVishkinScheme(NUM_VARS, N, c=3, seed=1),
+            lambda: UpfalWigdersonScheme(NUM_VARS, N, c=2, seed=1),
+        ],
+    )
+    def test_copy_nodes_shape_and_range(self, make):
+        scheme = make()
+        nodes = scheme.copy_nodes(np.arange(50))
+        assert nodes.shape == (50, scheme.redundancy)
+        assert nodes.min() >= 0 and nodes.max() < N
+
+    def test_single_copy_placement(self):
+        scheme = SingleCopyScheme(NUM_VARS, N)
+        np.testing.assert_array_equal(
+            scheme.copy_nodes(np.array([0, 1, N + 2]))[:, 0], [0, 1, 2]
+        )
+
+    def test_single_copy_collisions(self):
+        scheme = SingleCopyScheme(NUM_VARS, N)
+        bad = scheme.colliding_variables(N, node=5)
+        np.testing.assert_array_equal(scheme.copy_nodes(bad)[:, 0], 5)
+
+    def test_mv84_write_touches_all(self):
+        scheme = MehlhornVishkinScheme(NUM_VARS, N, c=3)
+        touched = scheme.access_nodes(np.arange(10), "write")
+        assert all(t.size == 3 for t in touched)
+
+    def test_mv84_read_touches_one(self):
+        scheme = MehlhornVishkinScheme(NUM_VARS, N, c=3)
+        touched = scheme.access_nodes(np.arange(10), "read")
+        assert all(t.size == 1 for t in touched)
+
+    def test_mv84_read_balances(self):
+        """Greedy read-copy choice should spread far better than copy 0."""
+        scheme = MehlhornVishkinScheme(NUM_VARS, N, c=3, seed=2)
+        variables = uniform_requests(NUM_VARS, N, seed=3)
+        touched = np.concatenate(scheme.access_nodes(variables, "read"))
+        naive = scheme.copy_nodes(variables)[:, 0]
+        assert (
+            np.bincount(touched, minlength=N).max()
+            <= np.bincount(naive, minlength=N).max()
+        )
+
+    def test_uw87_majority_size(self):
+        scheme = UpfalWigdersonScheme(NUM_VARS, N, c=2)
+        assert scheme.redundancy == 3
+        touched = scheme.access_nodes(np.arange(10), "read")
+        assert all(t.size == 2 for t in touched)
+
+    def test_uw87_deterministic_placement(self):
+        a = UpfalWigdersonScheme(NUM_VARS, N, c=2, seed=9)
+        b = UpfalWigdersonScheme(NUM_VARS, N, c=2, seed=9)
+        v = np.arange(20)
+        np.testing.assert_array_equal(a.copy_nodes(v), b.copy_nodes(v))
+
+    def test_uw87_copies_distinct(self):
+        scheme = UpfalWigdersonScheme(NUM_VARS, N, c=3, seed=0)
+        nodes = scheme.copy_nodes(np.arange(30))
+        for row in nodes:
+            assert len(set(row.tolist())) == scheme.redundancy
+
+
+class TestWorkloads:
+    def test_uniform_distinct(self):
+        reqs = uniform_requests(NUM_VARS, N, seed=0)
+        assert np.unique(reqs).size == N
+
+    def test_uniform_rejects_oversample(self):
+        with pytest.raises(ValueError):
+            uniform_requests(4, 5)
+
+    def test_adversarial_single_copy(self):
+        scheme = SingleCopyScheme(NUM_VARS, N)
+        reqs = adversarial_requests(scheme, N)
+        nodes = scheme.copy_nodes(reqs)[:, 0]
+        assert len(set(nodes.tolist())) == 1
+
+    def test_adversarial_hashed(self):
+        scheme = HashedScheme(NUM_VARS, N, seed=7)
+        reqs = adversarial_requests(scheme, 32)
+        nodes = scheme.copy_nodes(reqs)[:, 0]
+        assert len(set(nodes.tolist())) == 1
+
+    def test_adversarial_replicated_best_effort(self):
+        scheme = UpfalWigdersonScheme(NUM_VARS, N, c=2, seed=1)
+        reqs = adversarial_requests(scheme, N)
+        assert np.unique(reqs).size == N
+
+
+class TestEvaluate:
+    def test_contention_measured(self):
+        mesh = Mesh(8)
+        scheme = SingleCopyScheme(NUM_VARS, N)
+        bad = scheme.colliding_variables(N)
+        res = evaluate_scheme(scheme, mesh, bad, "read")
+        assert res.max_module_load == N
+        # Node receives >= N packets over <= 4 links: ~N/4 steps minimum.
+        assert res.mesh_steps >= N // 4
+
+    def test_uniform_much_cheaper(self):
+        mesh = Mesh(8)
+        scheme = SingleCopyScheme(NUM_VARS, N)
+        good = uniform_requests(NUM_VARS, N, seed=2)
+        bad = scheme.colliding_variables(N)
+        res_good = evaluate_scheme(scheme, mesh, good, "read")
+        res_bad = evaluate_scheme(scheme, mesh, bad, "read")
+        assert res_good.mesh_steps < res_bad.mesh_steps
+
+    def test_replication_defeats_adversary(self):
+        """The E10 headline at test scale: under each scheme's own worst
+        workload, majority-replicated schemes beat single-copy ones."""
+        mesh = Mesh(8)
+        single = SingleCopyScheme(NUM_VARS, N)
+        uw = UpfalWigdersonScheme(NUM_VARS, N, c=2, seed=3)
+        res_single = evaluate_scheme(single, mesh, adversarial_requests(single, N), "read")
+        res_uw = evaluate_scheme(uw, mesh, adversarial_requests(uw, N), "read")
+        assert res_uw.max_module_load < res_single.max_module_load
+
+    def test_route_skip(self):
+        mesh = Mesh(8)
+        scheme = SingleCopyScheme(NUM_VARS, N)
+        res = evaluate_scheme(scheme, mesh, np.arange(10), "read", route=False)
+        assert res.mesh_steps == 0 and res.max_module_load >= 1
+
+    def test_rejects_mismatched_mesh(self):
+        with pytest.raises(ValueError):
+            evaluate_scheme(SingleCopyScheme(NUM_VARS, 16), Mesh(8), np.arange(4))

@@ -1,0 +1,130 @@
+"""Tests for the explicit (q^d, q)-BIBD construction (lines of AG(d, q))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bibd import AffineBIBD, bibd_num_inputs, verify_input_degrees, verify_lambda_one
+
+CASES = [(2, 2), (3, 2), (3, 3), (4, 2), (5, 2), (7, 2), (9, 2), (2, 4)]
+
+
+class TestCounts:
+    @pytest.mark.parametrize("q,d", CASES)
+    def test_input_count_formula(self, q, d):
+        assert bibd_num_inputs(q, d) == q ** (d - 1) * (q**d - 1) // (q - 1)
+
+    def test_known_small(self):
+        # AG(2,3): 9 points, 12 lines.
+        assert bibd_num_inputs(3, 2) == 12
+        assert AffineBIBD(3, 2).num_outputs == 9
+
+    def test_degree_formulas(self):
+        design = AffineBIBD(3, 3)
+        assert design.input_degree == 3
+        assert design.output_degree == (27 - 1) // 2  # (m-1)/(q-1)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("q,d", CASES)
+    def test_roundtrip_all_ids(self, q, d):
+        design = AffineBIBD(q, d)
+        ids = np.arange(design.num_inputs)
+        h, A, B = design.decode_inputs(ids)
+        np.testing.assert_array_equal(design.encode_inputs(h, A, B), ids)
+
+    def test_h_ranges(self):
+        design = AffineBIBD(3, 2)
+        h, A, B = design.decode_inputs(np.arange(design.num_inputs))
+        assert h.min() == 0 and h.max() == 1
+        assert np.all(B < 3**h)
+
+    def test_rejects_out_of_range(self):
+        design = AffineBIBD(3, 2)
+        with pytest.raises(ValueError):
+            design.decode_inputs(design.num_inputs)
+        with pytest.raises(ValueError):
+            design.neighbors(-1)
+
+
+class TestIncidence:
+    @pytest.mark.parametrize("q,d", CASES)
+    def test_neighbors_distinct(self, q, d):
+        design = AffineBIBD(q, d)
+        nbrs = design.neighbors(np.arange(design.num_inputs))
+        assert nbrs.shape == (design.num_inputs, q)
+        for row in nbrs:
+            assert len(set(row.tolist())) == q
+
+    @pytest.mark.parametrize("q,d", CASES)
+    def test_lambda_one(self, q, d):
+        sample = None if AffineBIBD(q, d).num_outputs <= 128 else 500
+        verify_lambda_one(AffineBIBD(q, d), sample=sample)
+
+    @pytest.mark.parametrize("q,d", [(2, 2), (3, 2), (3, 3), (4, 2), (5, 2)])
+    def test_output_degrees_uniform(self, q, d):
+        verify_input_degrees(AffineBIBD(q, d))
+
+    @pytest.mark.parametrize("q,d", CASES)
+    def test_line_through_incident(self, q, d):
+        design = AffineBIBD(q, d)
+        rng = np.random.default_rng(1)
+        u1 = rng.integers(0, design.num_outputs, size=200)
+        u2 = rng.integers(0, design.num_outputs, size=200)
+        keep = u1 != u2
+        u1, u2 = u1[keep], u2[keep]
+        lines = design.line_through(u1, u2)
+        nbrs = design.neighbors(lines)
+        assert (nbrs == u1[:, None]).any(axis=1).all()
+        assert (nbrs == u2[:, None]).any(axis=1).all()
+
+    def test_line_through_rejects_equal_points(self):
+        with pytest.raises(ValueError):
+            AffineBIBD(3, 2).line_through(4, 4)
+
+    @pytest.mark.parametrize("q,d", [(3, 2), (4, 2), (3, 3)])
+    def test_line_through_is_canonical(self, q, d):
+        """Any two points of a line map back to that same line."""
+        design = AffineBIBD(q, d)
+        for line in range(design.num_inputs):
+            pts = design.neighbors(line)
+            for i in range(q):
+                for j in range(q):
+                    if i != j:
+                        assert int(design.line_through(pts[i], pts[j])) == line
+
+    @pytest.mark.parametrize("q,d", [(3, 2), (3, 3), (5, 2), (4, 2)])
+    def test_adjacent_inputs(self, q, d):
+        design = AffineBIBD(q, d)
+        for u in range(0, design.num_outputs, max(1, design.num_outputs // 7)):
+            lines = design.adjacent_inputs(u)
+            assert lines.size == design.output_degree
+            nbrs = design.neighbors(lines)
+            assert (nbrs == u).any(axis=1).all()
+            # Rank order: ranks are 0..degree-1 in order.
+            ranks = design.input_rank_at_output(lines, np.full(lines.shape, u))
+            np.testing.assert_array_equal(ranks, np.arange(lines.size))
+
+    def test_rank_rejects_non_incident(self):
+        design = AffineBIBD(3, 2)
+        line = 0
+        non_nbrs = [u for u in range(9) if u not in set(design.neighbors(line).tolist())]
+        with pytest.raises(ValueError):
+            design.input_rank_at_output(line, non_nbrs[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(CASES), st.data())
+    def test_partition_property(self, case, data):
+        """For fixed (h, B) the lines partition the points (property test)."""
+        q, d = case
+        design = AffineBIBD(q, d)
+        h = data.draw(st.integers(0, d - 1))
+        B = data.draw(st.integers(0, q**h - 1))
+        A = design.line_through_with_params(
+            np.arange(design.num_outputs), np.int64(h), np.int64(B)
+        )
+        # Each A value is hit by exactly q points (the line's q points).
+        _, counts = np.unique(A, return_counts=True)
+        assert (counts == q).all()
+        assert A.size == design.num_outputs

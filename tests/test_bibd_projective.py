@@ -1,0 +1,90 @@
+"""Tests for projective planes PG(2, q) (the dual lambda=1 design)."""
+
+import numpy as np
+import pytest
+
+from repro.bibd import ProjectivePlane
+
+ORDERS = [2, 3, 4, 5, 7, 8, 9]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_parameters(self, q):
+        pp = ProjectivePlane(q)
+        got = pp.verify()
+        assert got["points"] == q * q + q + 1
+        assert got["line_size"] == q + 1
+
+    def test_fano_plane(self):
+        """PG(2,2) is the Fano plane: 7 points, 7 lines of 3."""
+        pp = ProjectivePlane(2)
+        assert pp.size == 7
+        nbrs = pp.neighbors(np.arange(7))
+        assert nbrs.shape == (7, 3)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            ProjectivePlane(6)
+
+
+class TestIncidence:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_line_through_all_pairs(self, q):
+        pp = ProjectivePlane(q)
+        p1, p2 = np.triu_indices(pp.size, k=1)
+        lines = pp.line_through(p1, p2)
+        nbrs = pp.neighbors(lines)
+        assert (nbrs == p1[:, None]).any(axis=1).all()
+        assert (nbrs == p2[:, None]).any(axis=1).all()
+
+    def test_line_through_rejects_equal(self):
+        with pytest.raises(ValueError):
+            ProjectivePlane(3).line_through(2, 2)
+
+    def test_duality(self):
+        """Two lines meet in exactly one point (the dual property AG lacks:
+        affine parallels never meet)."""
+        pp = ProjectivePlane(3)
+        for l1 in range(pp.size):
+            for l2 in range(l1 + 1, pp.size):
+                common = set(pp.neighbors(l1).tolist()) & set(pp.neighbors(l2).tolist())
+                assert len(common) == 1
+
+    def test_vector_normalization(self):
+        pp = ProjectivePlane(3)
+        vecs = pp.vector_of(np.arange(pp.size))
+        # Each vector's last nonzero coordinate is 1 (canonical form).
+        for v in vecs:
+            nz = [c for c in v.tolist() if c != 0]
+            assert nz[-1] == 1 or v.tolist()[-1] == 1 or v.tolist()[1] == 1 or v.tolist()[0] == 1
+
+    def test_id_range_checked(self):
+        pp = ProjectivePlane(2)
+        with pytest.raises(ValueError):
+            pp.neighbors(7)
+        with pytest.raises(ValueError):
+            pp.vector_of(-1)
+
+
+class TestAsMemoryScheme:
+    def test_strong_expansion_analogue(self):
+        """Lines through a common point pairwise share only that point —
+        the expansion property the HMOS proof uses, in PG form."""
+        pp = ProjectivePlane(4)
+        point = 0
+        lines = pp.lines_through(point)
+        for i in range(lines.size):
+            for j in range(i + 1, lines.size):
+                shared = set(pp.neighbors(lines[i]).tolist()) & set(
+                    pp.neighbors(lines[j]).tolist()
+                )
+                assert shared == {point}
+
+    def test_balanced_storage(self):
+        """Using lines as variables and points as modules, every module
+        stores exactly q+1 variables — perfectly balanced."""
+        pp = ProjectivePlane(5)
+        nbrs = pp.neighbors(np.arange(pp.size))
+        load = np.bincount(nbrs.reshape(-1), minlength=pp.size)
+        assert (load == pp.q + 1).all()

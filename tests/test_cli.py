@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.n == 256 and args.alpha == 1.5 and args.q == 3
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "redundancy: 9" in out
+        assert "BIBD" in out
+
+    def test_step_uniform_cycle(self, capsys):
+        assert main(["step", "--n", "64", "--engine", "cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "T_sim measured" in out
+        assert "stage 3" in out
+
+    def test_step_adversarial_model(self, capsys):
+        assert main([
+            "step", "--n", "64", "--engine", "model",
+            "--workload", "adversarial", "--op", "write",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adversarial" in out
+
+    def test_route(self, capsys):
+        assert main(["route", "--side", "8", "--hot", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "direct greedy" in out and "staged" in out
+
+    def test_scaling(self, capsys):
+        assert main([
+            "scaling", "--ns", "64,256", "--alphas", "1.5", "--k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exponent" in out
+
+    def test_run_program(self, capsys, tmp_path):
+        prog = tmp_path / "double.asm"
+        prog.write_text("load r1, pid\nadd r1, r1, r1\nstore pid, r1\nhalt\n")
+        assert main([
+            "run", str(prog), "--n", "64",
+            "--data", "1,2,3,4", "--dump", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[2, 4, 6, 8]" in out
+        assert "halted" in out
+
+    def test_run_bad_assembly(self, tmp_path):
+        prog = tmp_path / "bad.asm"
+        prog.write_text("bogus r1\n")
+        with pytest.raises(Exception):
+            main(["run", str(prog), "--n", "64"])
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E16" in out
+        assert "Thm 3" in out
+
+    def test_registry_complete(self):
+        from repro.experiments import EXPERIMENTS, _benchmarks_dir
+
+        bench_dir = _benchmarks_dir()
+        assert len(EXPERIMENTS) == 17
+        for info in EXPERIMENTS.values():
+            assert (bench_dir / info.bench).exists(), info.bench
+
+    def test_unknown_id_rejected(self):
+        from repro.experiments import run
+
+        with pytest.raises(KeyError):
+            run(["E99"])

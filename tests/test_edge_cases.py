@@ -1,0 +1,106 @@
+"""Boundary-condition tests across the stack (tiny meshes, empty sets)."""
+
+import numpy as np
+import pytest
+
+from repro.culling import cull
+from repro.hmos import HMOS
+from repro.mesh import Mesh, PacketBatch, SynchronousEngine, Tessellation
+from repro.protocol import AccessProtocol
+
+
+class TestEmptyRequests:
+    def test_empty_cull_is_free(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        res = cull(scheme, np.array([], dtype=np.int64))
+        assert res.charged_steps == 0.0
+        assert res.selected.shape == (0, scheme.redundancy)
+        assert res.iterations == ()
+
+    def test_empty_read(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="model")
+        res = proto.read(np.array([], dtype=np.int64))
+        assert res.values.size == 0
+        assert res.total_steps == 0.0
+
+    def test_empty_write(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="cycle")
+        res = proto.write(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), timestamp=1
+        )
+        assert res.total_steps == 0.0
+
+    def test_single_request(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="cycle")
+        proto.write(np.array([42]), np.array([7]), timestamp=1)
+        res = proto.read(np.array([42]))
+        assert res.values[0] == 7
+        assert res.total_steps > 0
+
+
+class TestTinyMeshes:
+    def test_smallest_mesh(self):
+        """n = 4 (2x2) still supports the whole stack with k = 1."""
+        scheme = HMOS(n=4, alpha=1.5, q=3, k=1)
+        proto = AccessProtocol(scheme, engine="cycle")
+        v = np.arange(4)
+        proto.write(v, v + 100, timestamp=1)
+        res = proto.read(v)
+        np.testing.assert_array_equal(res.values, v + 100)
+
+    def test_n16_full_width(self):
+        scheme = HMOS(n=16, alpha=1.5, q=3, k=1)
+        proto = AccessProtocol(scheme, engine="cycle")
+        v = np.arange(16)
+        proto.write(v, v * v, timestamp=1)
+        np.testing.assert_array_equal(proto.read(v).values, v * v)
+
+    def test_mesh2_engine(self):
+        mesh = Mesh(2)
+        res = SynchronousEngine(mesh).route(
+            PacketBatch(np.array([0, 3]), np.array([3, 0]))
+        )
+        assert res.steps >= 2
+        assert res.total_hops == 4
+
+    def test_single_region_tessellation(self):
+        tess = Tessellation.uniform(4, 1)
+        np.testing.assert_array_equal(tess.region_of(np.arange(4)), 0)
+
+
+class TestExtremeAlpha:
+    def test_alpha_barely_above_one(self):
+        scheme = HMOS(n=256, alpha=1.01, q=3, k=1)
+        assert scheme.num_variables >= int(256**1.01)
+        proto = AccessProtocol(scheme, engine="model")
+        v = np.arange(256)
+        proto.write(v, v, timestamp=1)
+        np.testing.assert_array_equal(proto.read(v).values, v)
+
+    def test_alpha_exactly_two(self):
+        scheme = HMOS(n=64, alpha=2.0, q=3, k=2)
+        assert scheme.num_variables >= 64**2
+        proto = AccessProtocol(scheme, engine="model")
+        v = np.arange(64) * 63  # spread across the square memory
+        proto.write(v, v + 1, timestamp=1)
+        np.testing.assert_array_equal(proto.read(v).values, v + 1)
+
+
+class TestRequestIdentityEdges:
+    def test_highest_variable_id(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="model")
+        v = np.array([scheme.num_variables - 1])
+        proto.write(v, np.array([5]), timestamp=1)
+        assert proto.read(v).values[0] == 5
+
+    def test_mixed_with_all_idle_write_side(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="model")
+        v = np.arange(8)
+        res = proto.mixed(v, np.zeros(8, dtype=bool), np.zeros(8, dtype=np.int64),
+                          timestamp=1)
+        np.testing.assert_array_equal(res.values, 0)

@@ -1,0 +1,75 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The slow sweeps (scaling_study) are exercised by the benchmarks; here we
+run the fast scenario scripts plus every assembly example to keep them
+from bit-rotting.
+"""
+
+import contextlib
+import importlib.util
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+ROOT = Path(__file__).parent.parent
+EXAMPLES = ROOT / "examples"
+
+FAST_SCRIPTS = [
+    "quickstart.py",
+    "pram_algorithms.py",
+    "routing_study.py",
+    "assembly_interpreter.py",
+    "fault_tolerance.py",
+    "congestion_maps.py",
+]
+
+
+def run_script(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        spec.loader.exec_module(module)
+        module.main()
+    return buf.getvalue()
+
+
+@pytest.mark.parametrize("script", FAST_SCRIPTS)
+def test_example_runs(script):
+    out = run_script(script)
+    assert len(out) > 100
+    assert "Traceback" not in out
+
+
+def test_all_examples_have_main():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert 'if __name__ == "__main__":' in text, path.name
+        assert "def main()" in text, path.name
+
+
+class TestAssemblyExamples:
+    @pytest.mark.parametrize(
+        "asm,expect",
+        [
+            ("square.asm", "[0, 1, 4, 9, 16, 25, 36, 49]"),
+            ("fibonacci.asm", "[0, 1, 1, 2, 3, 5, 8, 13]"),
+        ],
+    )
+    def test_asm_programs(self, capsys, asm, expect):
+        assert main([
+            "run", str(EXAMPLES / "asm" / asm), "--n", "64", "--dump", "8",
+        ]) == 0
+        assert expect in capsys.readouterr().out
+
+    def test_jacobi_asm(self, capsys):
+        assert main([
+            "run", str(EXAMPLES / "asm" / "neighbor_exchange.asm"),
+            "--n", "64", "--data", "0,0,0,0,0,0,0,640", "--dump", "8",
+        ]) == 0
+        # 4 sweeps of (left+right)//2 with v[7]=640 initial:
+        assert "[0, 0, 0, 40, 0, 160, 0, 240]" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Unit and property tests for the finite-field layer (repro.ff).
+
+The BIBD construction is only correct if GF(q) satisfies the field axioms
+for every prime power q used as a replication factor, so these tests check
+the axioms exhaustively for small q and by sampling for the rest.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ff import (
+    GF,
+    factor_prime_power,
+    find_irreducible,
+    get_field,
+    is_irreducible,
+    is_prime,
+    is_prime_power,
+    poly_divmod,
+    poly_mul,
+)
+
+PRIME_POWERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 97])
+    def test_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 91])
+    def test_composites(self, n):
+        assert not is_prime(n)
+
+    @pytest.mark.parametrize("q,p,m", [(8, 2, 3), (9, 3, 2), (7, 7, 1), (27, 3, 3)])
+    def test_factor(self, q, p, m):
+        assert factor_prime_power(q) == (p, m)
+
+    @pytest.mark.parametrize("q", [6, 10, 12, 15])
+    def test_non_prime_power_rejected(self, q):
+        assert not is_prime_power(q)
+        with pytest.raises(ValueError):
+            factor_prime_power(q)
+
+
+class TestPolynomials:
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 2x + 1 over Z_3
+        np.testing.assert_array_equal(poly_mul([1, 1], [1, 1], 3), [1, 2, 1])
+
+    def test_divmod_identity(self):
+        a = np.array([2, 0, 1, 4], dtype=np.int64)
+        b = np.array([1, 2], dtype=np.int64)
+        quot, rem = poly_divmod(a, b, 5)
+        recomposed = poly_mul(quot, b, 5)
+        padded = np.zeros(4, dtype=np.int64)
+        padded[: recomposed.size] += recomposed
+        padded[: rem.size] = (padded[: rem.size] + rem) % 5
+        np.testing.assert_array_equal(padded % 5, a % 5)
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod([1, 1], [], 3)
+
+    def test_irreducible_degree2_z2(self):
+        # x^2 + x + 1 is the only irreducible quadratic over Z_2.
+        assert is_irreducible([1, 1, 1], 2)
+        assert not is_irreducible([1, 0, 1], 2)  # (x+1)^2
+        assert not is_irreducible([0, 1, 1], 2)  # x(x+1)
+
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 3), (3, 2), (3, 3), (5, 2)])
+    def test_find_irreducible_is_irreducible(self, p, m):
+        poly = find_irreducible(p, m)
+        assert poly.size == m + 1
+        assert poly[-1] == 1
+        assert is_irreducible(poly, p)
+
+    def test_find_irreducible_deterministic(self):
+        np.testing.assert_array_equal(find_irreducible(3, 2), find_irreducible(3, 2))
+
+
+@pytest.mark.parametrize("q", PRIME_POWERS)
+class TestFieldAxioms:
+    """Exhaustive axiom checks; q is small so O(q^3) checks are cheap."""
+
+    def test_additive_group(self, q):
+        field = get_field(q)
+        e = field.elements()
+        add = field.add(e[:, None], e[None, :])
+        # Each row/column is a permutation (Latin square) => group table.
+        for row in add:
+            assert sorted(row.tolist()) == list(range(q))
+        np.testing.assert_array_equal(field.add(e, 0), e)
+        np.testing.assert_array_equal(field.add(e, field.neg(e)), np.zeros(q, dtype=np.int64))
+
+    def test_multiplicative_group(self, q):
+        field = get_field(q)
+        nz = field.elements()[1:]
+        mul = field.mul(nz[:, None], nz[None, :])
+        for row in mul:
+            assert sorted(row.tolist()) == list(range(1, q))
+        np.testing.assert_array_equal(field.mul(nz, field.inv(nz)), np.ones(q - 1, dtype=np.int64))
+
+    def test_commutativity(self, q):
+        field = get_field(q)
+        e = field.elements()
+        np.testing.assert_array_equal(
+            field.add(e[:, None], e[None, :]), field.add(e[None, :], e[:, None])
+        )
+        np.testing.assert_array_equal(
+            field.mul(e[:, None], e[None, :]), field.mul(e[None, :], e[:, None])
+        )
+
+    def test_associativity_sampled(self, q):
+        field = get_field(q)
+        rng = np.random.default_rng(q)
+        a, b, c = rng.integers(0, q, size=(3, 64))
+        np.testing.assert_array_equal(
+            field.add(field.add(a, b), c), field.add(a, field.add(b, c))
+        )
+        np.testing.assert_array_equal(
+            field.mul(field.mul(a, b), c), field.mul(a, field.mul(b, c))
+        )
+
+    def test_distributivity(self, q):
+        field = get_field(q)
+        rng = np.random.default_rng(q + 1)
+        a, b, c = rng.integers(0, q, size=(3, 64))
+        np.testing.assert_array_equal(
+            field.mul(a, field.add(b, c)),
+            field.add(field.mul(a, b), field.mul(a, c)),
+        )
+
+    def test_zero_annihilates(self, q):
+        field = get_field(q)
+        e = field.elements()
+        np.testing.assert_array_equal(field.mul(e, 0), np.zeros(q, dtype=np.int64))
+
+    def test_subtraction(self, q):
+        field = get_field(q)
+        e = field.elements()
+        np.testing.assert_array_equal(field.sub(field.add(e, 3 % q), 3 % q), e)
+
+
+class TestFieldMisc:
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            get_field(5).inv(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            get_field(5).add(5, 0)
+        with pytest.raises(ValueError):
+            get_field(5).add(-1, 0)
+
+    def test_primitive_element_generates(self):
+        for q in [3, 4, 5, 7, 8, 9]:
+            field = get_field(q)
+            g = field.primitive_element()
+            seen = set()
+            acc = 1
+            for _ in range(q - 1):
+                acc = int(field.mul(acc, g))
+                seen.add(acc)
+            assert seen == set(range(1, q))
+
+    def test_power_matches_repeated_mul(self):
+        field = get_field(9)
+        for a in range(9):
+            acc = 1
+            for e in range(6):
+                assert int(field.power(a, e)) == acc
+                acc = int(field.mul(acc, a))
+
+    def test_field_cache_identity(self):
+        assert get_field(7) is get_field(7)
+
+    def test_equality_and_hash(self):
+        assert GF(4) == get_field(4)
+        assert hash(GF(4)) == hash(get_field(4))
+
+    def test_non_prime_power_field_rejected(self):
+        with pytest.raises(ValueError):
+            GF(6)
+
+    @given(st.sampled_from([3, 4, 5, 7, 9]), st.data())
+    def test_frobenius_property(self, q, data):
+        """(a + b)^p == a^p + b^p — a deep field identity, good smoke test."""
+        field = get_field(q)
+        a = data.draw(st.integers(0, q - 1))
+        b = data.draw(st.integers(0, q - 1))
+        lhs = field.power(field.add(a, b), field.p)
+        rhs = field.add(field.power(a, field.p), field.power(b, field.p))
+        assert int(lhs) == int(rhs)

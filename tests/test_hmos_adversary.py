@@ -1,0 +1,98 @@
+"""Tests for the adversarial request-set generators."""
+
+import numpy as np
+import pytest
+
+from repro.hmos import (
+    HMOS,
+    majority_collision_requests,
+    module_collision_requests,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return HMOS(n=256, alpha=1.5, q=3, k=2)
+
+
+class TestModuleCollision:
+    def test_distinct_variables(self, scheme):
+        reqs = module_collision_requests(scheme, 100)
+        assert np.unique(reqs).size == 100
+
+    def test_all_touch_target_module(self, scheme):
+        """Every returned variable has a copy in module 0 (until the
+        pool spills to neighbors)."""
+        g = scheme.placement.graphs[0]
+        degree = g.design.output_degree
+        count = min(degree, scheme.params.n)
+        reqs = module_collision_requests(scheme, count)
+        nbrs = g.neighbors(reqs)
+        assert (nbrs == 0).any(axis=1).all()
+
+    def test_spills_to_next_modules(self, scheme):
+        g = scheme.placement.graphs[0]
+        degree = g.design.output_degree
+        if degree < scheme.params.n:
+            reqs = module_collision_requests(scheme, scheme.params.n)
+            assert np.unique(reqs).size == scheme.params.n
+
+    def test_rejects_bad_count(self, scheme):
+        with pytest.raises(ValueError):
+            module_collision_requests(scheme, 0)
+        with pytest.raises(ValueError):
+            module_collision_requests(scheme, scheme.params.n + 1)
+
+    def test_custom_module(self, scheme):
+        g = scheme.placement.graphs[0]
+        reqs = module_collision_requests(scheme, 10, module=5)
+        assert (g.neighbors(reqs) == 5).any(axis=1).all()
+
+
+class TestMajorityCollision:
+    def test_distinct_variables(self, scheme):
+        reqs = majority_collision_requests(scheme, 128)
+        assert np.unique(reqs).size == 128
+
+    def test_two_copies_in_pool(self, scheme):
+        """Each variable has >= 2 level-1 modules among the small pool,
+        so every 2-of-3 majority must touch the pool."""
+        count = 128
+        reqs = majority_collision_requests(scheme, count)
+        g = scheme.placement.graphs[0]
+        nbrs = g.neighbors(reqs)
+        # Recover the pool: modules used at least twice by some variable.
+        pool_max = nbrs.max() + 1
+        in_pool_counts = []
+        # The generator targets the lowest module ids; find the smallest
+        # prefix that gives every variable 2 hits.
+        for bound in range(3, pool_max + 1):
+            hits = (nbrs < bound).sum(axis=1)
+            if (hits >= 2).all():
+                in_pool_counts = hits
+                break
+        assert len(in_pool_counts) > 0, "no module prefix covers all variables"
+
+    def test_explicit_pool(self, scheme):
+        reqs = majority_collision_requests(scheme, 20, module_pool=12)
+        g = scheme.placement.graphs[0]
+        hits = (g.neighbors(reqs) < 12).sum(axis=1)
+        assert (hits >= 2).all()
+
+    def test_insufficient_pool_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            majority_collision_requests(scheme, 200, module_pool=4)
+
+    def test_forces_congestion_on_k1(self):
+        """The attack's purpose: under a k=1 scheme, culling cannot push
+        load out of the pool region — max node load stays high."""
+        from repro.protocol import AccessProtocol
+
+        s1 = HMOS(n=1024, alpha=2.0, q=3, k=1)
+        s2 = HMOS(n=1024, alpha=2.0, q=3, k=2)
+        adv = majority_collision_requests(s1, 1024)
+        r1 = AccessProtocol(s1, engine="model").read(adv)
+        r2 = AccessProtocol(s2, engine="model").read(adv)
+        d1 = max(s.delta_in for s in r1.stages)
+        d2 = max(s.delta_in for s in r2.stages)
+        assert d1 > 2 * d2, (d1, d2)

@@ -1,0 +1,91 @@
+"""Tests for the timestamped copy store and majority retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.hmos import HMOS
+
+
+@pytest.fixture()
+def scheme():
+    return HMOS(n=64, alpha=1.5, q=3, k=2)
+
+
+class TestCopyMemory:
+    def test_initial_image(self, scheme):
+        vals, tss = scheme.memory.read(np.array([0, 1]), np.array([0, 5]))
+        np.testing.assert_array_equal(vals, 0)
+        np.testing.assert_array_equal(tss, -1)
+
+    def test_write_then_read(self, scheme):
+        scheme.memory.write(np.array([4]), np.array([2]), np.array([99]), timestamp=7)
+        vals, tss = scheme.memory.read(np.array([4]), np.array([2]))
+        assert int(vals[0]) == 99 and int(tss[0]) == 7
+
+    def test_broadcast_write(self, scheme):
+        v = np.array([1, 1, 1])
+        paths = np.array([0, 1, 2])
+        scheme.memory.write(v, paths, 5, timestamp=1)
+        vals, _ = scheme.memory.read(v, paths)
+        np.testing.assert_array_equal(vals, 5)
+
+    def test_rejects_bad_path(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.memory.read(np.array([0]), np.array([scheme.redundancy]))
+
+    def test_rejects_bad_variable(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.memory.read(np.array([scheme.num_variables]), np.array([0]))
+
+    def test_written_copies_counter(self, scheme):
+        assert scheme.memory.written_copies == 0
+        scheme.memory.write(np.array([0, 0]), np.array([0, 1]), 1, timestamp=0)
+        assert scheme.memory.written_copies == 2
+
+    def test_read_latest_prefers_newer(self, scheme):
+        v = np.array([3])
+        scheme.memory.write(v, np.array([0]), np.array([10]), timestamp=1)
+        scheme.memory.write(v, np.array([1]), np.array([20]), timestamp=2)
+        got = scheme.memory.read_latest(v, np.array([[0, 1]]))
+        assert int(got[0]) == 20
+
+    def test_read_latest_masked(self, scheme):
+        v = np.array([6])
+        scheme.memory.write(v, np.array([4]), np.array([42]), timestamp=3)
+        mask = np.zeros((1, scheme.redundancy), dtype=bool)
+        mask[0, [2, 4, 7]] = True
+        got = scheme.memory.read_latest_masked(v, mask)
+        assert int(got[0]) == 42
+
+    def test_read_latest_masked_requires_nonempty(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.memory.read_latest_masked(
+                np.array([0]), np.zeros((1, scheme.redundancy), dtype=bool)
+            )
+
+    def test_write_read_majority_consistency(self, scheme):
+        """Write a target set, read any other target set: newest wins.
+
+        This is the Definition 2 consistency argument at memory level:
+        two target sets always intersect in at least one copy.
+        """
+        from repro.hmos import extract_min_target_set
+
+        rng = np.random.default_rng(9)
+        v = np.array([11])
+        # Minimal (level-k) write target set: the smallest legal write.
+        full = np.ones((1, scheme.redundancy), dtype=bool)
+        _, write_mask, _ = extract_min_target_set(
+            full, full, scheme.params.q, scheme.params.k, scheme.params.k
+        )
+        w_paths = np.nonzero(write_mask[0])[0]
+        scheme.memory.write(
+            np.full(w_paths.shape, 11), w_paths, 1234, timestamp=5
+        )
+        for _ in range(20):
+            # Random minimal target sets as read sets.
+            sel = rng.random((1, scheme.redundancy)) < 0.7
+            if not scheme.is_target_set(sel)[0]:
+                continue
+            got = scheme.memory.read_latest_masked(v, sel)
+            assert int(got[0]) == 1234

@@ -1,0 +1,101 @@
+"""Tests for HMOS parameter derivation (Section 3.1, Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.bibd import bibd_num_inputs
+from repro.hmos import HMOSParams
+
+
+class TestValidation:
+    def test_rejects_non_square_n(self):
+        with pytest.raises(ValueError):
+            HMOSParams(n=60, alpha=1.5, q=3, k=2)
+
+    def test_rejects_non_power_of_two_side(self):
+        with pytest.raises(ValueError):
+            HMOSParams(n=36, alpha=1.5, q=3, k=2)  # side 6
+
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(ValueError):
+            HMOSParams(n=64, alpha=1.0, q=3, k=2)
+        with pytest.raises(ValueError):
+            HMOSParams(n=64, alpha=2.5, q=3, k=2)
+
+    def test_rejects_q2(self):
+        with pytest.raises(ValueError):
+            HMOSParams(n=64, alpha=1.5, q=2, k=2)
+
+    def test_rejects_non_prime_power_q(self):
+        with pytest.raises(ValueError):
+            HMOSParams(n=64, alpha=1.5, q=6, k=2)
+
+    def test_rejects_stalling_k(self):
+        # Small memory -> small d_1 -> dimensions stall quickly.
+        with pytest.raises(ValueError, match="too deep"):
+            HMOSParams(n=64, alpha=1.2, q=3, k=5)
+
+
+class TestDerivation:
+    def test_d1_minimal(self):
+        p = HMOSParams(n=256, alpha=1.5, q=3, k=1)
+        target = math.ceil(256**1.5)
+        assert bibd_num_inputs(3, p.d[0]) >= target
+        assert p.d[0] == 1 or bibd_num_inputs(3, p.d[0] - 1) < target
+
+    def test_d_recurrence(self):
+        p = HMOSParams(n=4096, alpha=2.0, q=3, k=3)
+        for i in range(len(p.d) - 1):
+            assert p.d[i + 1] == -(-p.d[i] // 2) + 1
+
+    def test_memory_capacity_covers_target(self):
+        for n, alpha in [(64, 1.5), (256, 1.25), (1024, 2.0)]:
+            p = HMOSParams(n=n, alpha=alpha, q=3, k=2)
+            assert p.num_variables >= n**alpha
+
+    def test_module_counts(self):
+        p = HMOSParams(n=1024, alpha=1.5, q=3, k=2)
+        assert p.m[0] == bibd_num_inputs(3, p.d[0])
+        assert p.m[1] == 3 ** p.d[0]
+        assert p.m[2] == 3 ** p.d[1]
+
+    def test_redundancy(self):
+        assert HMOSParams(n=64, alpha=1.5, q=3, k=2).redundancy == 9
+        assert HMOSParams(n=1024, alpha=2.0, q=3, k=3).redundancy == 27
+
+    def test_majorities(self):
+        p3 = HMOSParams(n=64, alpha=1.5, q=3, k=1)
+        assert p3.majority == 2 and p3.supermajority == 3
+        p5 = HMOSParams(n=64, alpha=1.5, q=5, k=1)
+        assert p5.majority == 3 and p5.supermajority == 4
+
+    def test_eq1_constant_band(self):
+        """Eq. (1): |U_i| = c n^{alpha/2^i} with c in [q/2, q^3]."""
+        for n, alpha, k in [(256, 1.5, 2), (1024, 1.5, 2), (4096, 2.0, 3), (4096, 1.3, 2)]:
+            p = HMOSParams(n=n, alpha=alpha, q=3, k=k)
+            for i in range(1, k + 1):
+                c = p.m[i] / n ** (alpha / 2**i)
+                assert p.q / 2 <= c <= p.q**3, (n, alpha, i, c)
+
+    def test_pages_per_module(self):
+        p = HMOSParams(n=256, alpha=1.5, q=3, k=2)
+        assert p.pages_per_module(0) == 9
+        assert p.pages_per_module(1) == 3
+        assert p.pages_per_module(2) == 1
+        assert p.num_pages(2) == p.m[2]
+
+    def test_culling_cap_grows_with_level(self):
+        p = HMOSParams(n=1024, alpha=1.5, q=3, k=2)
+        assert p.culling_cap(1) < p.culling_cap(2)
+        assert p.theorem3_bound(1) == 4 * p.redundancy * 1024**0.5
+
+    def test_summary_mentions_key_facts(self):
+        text = HMOSParams(n=64, alpha=1.5, q=3, k=2).summary()
+        assert "redundancy: 9" in text
+        assert "8x8" in text
+
+    def test_frozen(self):
+        p = HMOSParams(n=64, alpha=1.5, q=3, k=2)
+        with pytest.raises(AttributeError):
+            p.n = 128  # type: ignore[misc]

@@ -1,0 +1,151 @@
+"""Cross-layer property tests: invariants that tie the stack together.
+
+Each test states a property connecting two or more layers (placement x
+culling, protocol x memory, engine x batches) and verifies it over
+randomized instances with hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.culling import cull
+from repro.hmos import HMOS
+from repro.hmos.copytree import target_set_size
+from repro.mesh import Mesh, PacketBatch, SynchronousEngine
+from repro.protocol import AccessProtocol
+
+SCHEME_PARAMS = [(64, 1.5, 3, 2), (256, 1.25, 3, 2), (64, 1.2, 3, 1), (256, 2.0, 3, 2)]
+
+
+class TestPlacementInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(SCHEME_PARAMS), st.integers(0, 2**32 - 1))
+    def test_page_spans_nest(self, params, seed):
+        scheme = HMOS(n=params[0], alpha=params[1], q=params[2], k=params[3])
+        rng = np.random.default_rng(seed)
+        v = rng.integers(0, scheme.num_variables, 64)
+        paths = rng.integers(0, scheme.redundancy, 64)
+        prev_first = prev_last = None
+        for level in range(scheme.params.k, 0, -1):
+            first, last = scheme.placement.page_node_spans(level, v, paths)
+            if prev_first is not None:
+                assert np.all(prev_first <= first) and np.all(last <= prev_last)
+            prev_first, prev_last = first, last
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(SCHEME_PARAMS), st.integers(0, 2**32 - 1))
+    def test_same_page_key_same_span(self, params, seed):
+        scheme = HMOS(n=params[0], alpha=params[1], q=params[2], k=params[3])
+        rng = np.random.default_rng(seed)
+        v = rng.integers(0, scheme.num_variables, 128)
+        paths = rng.integers(0, scheme.redundancy, 128)
+        for level in range(1, scheme.params.k + 1):
+            keys = scheme.page_keys(level, v, paths)
+            first, _ = scheme.placement.page_node_spans(level, v, paths)
+            for key in np.unique(keys)[:10]:
+                sel = keys == key
+                assert np.unique(first[sel]).size == 1
+
+
+class TestCullingInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from(SCHEME_PARAMS), st.integers(0, 2**32 - 1))
+    def test_selection_size_and_validity(self, params, seed):
+        scheme = HMOS(n=params[0], alpha=params[1], q=params[2], k=params[3])
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(1, scheme.params.n + 1))
+        variables = rng.choice(scheme.num_variables, count, replace=False)
+        result = cull(scheme, variables)
+        p = scheme.params
+        # Final sets are minimal level-k target sets: exact size, valid.
+        np.testing.assert_array_equal(
+            result.selected.sum(axis=1), target_set_size(p.q, p.k, p.k)
+        )
+        assert scheme.is_target_set(result.selected).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_page_loads_monotone_under_subsets(self, seed):
+        """Culling a subset of a request set never loads any level-1
+        page more than culling the superset did... is FALSE in general
+        (selection is load-dependent); what must hold is the bound."""
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        rng = np.random.default_rng(seed)
+        variables = rng.choice(scheme.num_variables, 64, replace=False)
+        from repro.culling import audit_theorem3
+
+        res_full = cull(scheme, variables)
+        audit_theorem3(scheme, variables, res_full.selected)
+        subset = variables[:32]
+        res_sub = cull(scheme, subset)
+        audit_theorem3(scheme, subset, res_sub.selected)
+
+
+class TestProtocolInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_packet_count_is_selection_size(self, seed):
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        proto = AccessProtocol(scheme, engine="model")
+        rng = np.random.default_rng(seed)
+        variables = rng.choice(scheme.num_variables, 32, replace=False)
+        res = proto.read(variables)
+        # delta accounting implies total packets = selected copies:
+        assert res.culling.total_selected == 32 * target_set_size(3, 2, 2)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_model_cost_independent_of_values(self, seed):
+        """Step counts depend on the request SET, not on stored data."""
+        scheme_a = HMOS(n=64, alpha=1.5, q=3, k=2)
+        scheme_b = HMOS(n=64, alpha=1.5, q=3, k=2)
+        rng = np.random.default_rng(seed)
+        variables = rng.choice(scheme_a.num_variables, 48, replace=False)
+        pa = AccessProtocol(scheme_a, engine="model")
+        pb = AccessProtocol(scheme_b, engine="model")
+        pb.write(variables, rng.integers(0, 10**6, 48), timestamp=1)
+        cost_a = pa.read(variables).total_steps
+        cost_b = pb.read(variables).total_steps
+        assert cost_a == cost_b
+
+    def test_read_is_idempotent_in_cost_and_value(self):
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        proto = AccessProtocol(scheme, engine="cycle")
+        v = np.arange(40)
+        proto.write(v, v * 3, timestamp=1)
+        r1 = proto.read(v)
+        r2 = proto.read(v)
+        np.testing.assert_array_equal(r1.values, r2.values)
+        assert r1.total_steps == r2.total_steps
+
+
+class TestEngineInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 80))
+    def test_hop_conservation(self, seed, count):
+        """Total hops = sum of L1 distances (greedy XY is minimal-path)."""
+        mesh = Mesh(8)
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, mesh.n, count)
+        dst = rng.integers(0, mesh.n, count)
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        assert res.total_hops == int(mesh.distance(src, dst).sum())
+        assert res.node_traffic.sum() == res.total_hops
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_steps_lower_bounds(self, seed):
+        """steps >= max distance AND steps >= max in-degree / 4."""
+        mesh = Mesh(8)
+        rng = np.random.default_rng(seed)
+        src = np.arange(mesh.n)
+        dst = rng.integers(0, mesh.n, mesh.n)
+        batch = PacketBatch(src, dst)
+        res = SynchronousEngine(mesh).route(batch)
+        moving = src != dst
+        if moving.any():
+            assert res.steps >= int(mesh.distance(src, dst).max())
+            indeg = np.bincount(dst[moving], minlength=mesh.n).max()
+            assert res.steps >= -(-int(indeg) // 4)

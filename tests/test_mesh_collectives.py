@@ -1,0 +1,68 @@
+"""Tests for mesh collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, broadcast, reduce_all, scan_snake, snake_order
+
+
+class TestBroadcast:
+    def test_values(self):
+        vals, steps = broadcast(Mesh(8), root=0, value=42)
+        np.testing.assert_array_equal(vals, 42)
+
+    def test_corner_root_steps(self):
+        _, steps = broadcast(Mesh(8), root=0, value=1)
+        assert steps == 14  # eccentricity of a corner = diameter
+
+    def test_center_root_cheaper(self):
+        mesh = Mesh(8)
+        center = mesh.node_id(np.int64(3), np.int64(4))
+        _, steps = broadcast(mesh, root=int(center), value=1)
+        assert steps < mesh.diameter
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError):
+            broadcast(Mesh(4), root=16, value=0)
+
+
+class TestReduce:
+    def test_sum(self):
+        mesh = Mesh(4)
+        vals = np.arange(mesh.n)
+        total, steps = reduce_all(mesh, vals)
+        assert total == vals.sum()
+        assert steps == 2 * (mesh.side - 1)
+
+    def test_max(self):
+        mesh = Mesh(4)
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 1000, mesh.n)
+        total, _ = reduce_all(mesh, vals, op=np.maximum)
+        assert total == vals.max()
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            reduce_all(Mesh(4), np.arange(5))
+
+
+class TestScan:
+    def test_sum_scan_matches_cumsum_in_snake_order(self):
+        mesh = Mesh(4)
+        rng = np.random.default_rng(1)
+        vals = rng.integers(-10, 10, mesh.n)
+        out, steps = scan_snake(mesh, vals)
+        order = snake_order(mesh.side)
+        np.testing.assert_array_equal(out[order], np.cumsum(vals[order]))
+        assert steps == 3 * (mesh.side - 1)
+
+    def test_max_scan(self):
+        mesh = Mesh(4)
+        vals = np.arange(mesh.n)[::-1].copy()
+        out, _ = scan_snake(mesh, vals, op=np.maximum)
+        order = snake_order(mesh.side)
+        np.testing.assert_array_equal(out[order], np.maximum.accumulate(vals[order]))
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            scan_snake(Mesh(4), np.arange(3))

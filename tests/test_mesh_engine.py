@@ -1,0 +1,228 @@
+"""Tests for the cycle-accurate routing engine, sorting and routing strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    Mesh,
+    PacketBatch,
+    SynchronousEngine,
+    Tessellation,
+    route_direct,
+    route_via_submeshes,
+    shearsort,
+    shearsort_steps,
+    snake_order,
+)
+from repro.mesh.routing import _rank_within_groups
+
+
+class TestPacketBatch:
+    def test_lengths_validated(self):
+        with pytest.raises(ValueError):
+            PacketBatch(np.array([1, 2]), np.array([3]))
+
+    def test_default_tags(self):
+        batch = PacketBatch(np.array([0, 1]), np.array([2, 3]))
+        np.testing.assert_array_equal(batch.tag, [0, 1])
+
+    def test_l1_l2(self):
+        batch = PacketBatch(np.array([0, 0, 1]), np.array([2, 2, 2]))
+        assert batch.max_per_source() == 2
+        assert batch.max_per_destination() == 3
+
+    def test_reversed(self):
+        batch = PacketBatch(np.array([0, 1]), np.array([2, 3]))
+        rev = batch.reversed()
+        np.testing.assert_array_equal(rev.src, [2, 3])
+        np.testing.assert_array_equal(rev.dst, [0, 1])
+
+
+class TestEngine:
+    def test_empty_batch(self):
+        res = SynchronousEngine(Mesh(4)).route(PacketBatch(np.zeros(0), np.zeros(0)))
+        assert res.steps == 0
+
+    def test_single_packet_takes_distance_steps(self):
+        mesh = Mesh(8)
+        res = SynchronousEngine(mesh).route(
+            PacketBatch(np.array([0]), np.array([mesh.n - 1]))
+        )
+        assert res.steps == mesh.diameter
+        assert res.total_hops == mesh.diameter
+
+    def test_already_delivered(self):
+        mesh = Mesh(4)
+        res = SynchronousEngine(mesh).route(PacketBatch(np.array([5]), np.array([5])))
+        assert res.steps == 0
+
+    def test_permutation_routing_delivers(self):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(0)
+        dst = rng.permutation(mesh.n)
+        res = SynchronousEngine(mesh).route(PacketBatch(np.arange(mesh.n), dst))
+        assert res.steps >= 1
+        # Permutation routing is at most ~3x diameter for greedy XY on 8x8.
+        assert res.steps <= 4 * mesh.diameter
+
+    def test_steps_at_least_max_distance(self):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, mesh.n, 40)
+        dst = rng.integers(0, mesh.n, 40)
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        assert res.steps >= int(mesh.distance(src, dst).max())
+
+    def test_hotspot_serializes(self):
+        """All packets to one node: the node receives <= 4 per step, so
+        steps >= ceil(P/4) — the contention the HMOS exists to avoid."""
+        mesh = Mesh(8)
+        src = np.arange(mesh.n - 1)
+        dst = np.full(mesh.n - 1, mesh.n - 1)
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        assert res.steps >= (mesh.n - 1) // 4
+
+    def test_max_steps_guard(self):
+        mesh = Mesh(4)
+        with pytest.raises(RuntimeError):
+            SynchronousEngine(mesh).route(
+                PacketBatch(np.array([0]), np.array([15])), max_steps=2
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 60))
+    def test_random_batches_always_deliver(self, seed, count):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, mesh.n, count)
+        dst = rng.integers(0, mesh.n, count)
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        lower = int(mesh.distance(src, dst).max()) if count else 0
+        assert res.steps >= lower
+        assert res.total_hops == int(mesh.distance(src, dst).sum())
+
+
+class TestShearsort:
+    def test_snake_order_shape(self):
+        order = snake_order(4)
+        assert order.tolist() == [0, 1, 2, 3, 7, 6, 5, 4, 8, 9, 10, 11, 15, 14, 13, 12]
+
+    @pytest.mark.parametrize("side", [2, 4, 8, 16])
+    def test_sorts_random(self, side):
+        mesh = Mesh(side)
+        rng = np.random.default_rng(side)
+        vals = rng.integers(0, 1000, mesh.n)
+        sorted_vals, steps = shearsort(mesh, vals)
+        # Reading in snake order must give a sorted sequence.
+        snake = sorted_vals[snake_order(side)]
+        np.testing.assert_array_equal(snake, np.sort(vals))
+        assert steps == shearsort_steps(side)
+
+    def test_steps_scaling(self):
+        # O(sqrt(n) log n): doubling the side roughly doubles steps (x ~2.?)
+        assert shearsort_steps(32) < 3 * shearsort_steps(16)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            shearsort(Mesh(4), np.arange(5))
+
+
+class TestRankWithinGroups:
+    def test_basic(self):
+        groups = np.array([2, 0, 2, 1, 0, 2])
+        ranks = _rank_within_groups(groups)
+        # Stable: first occurrence of each group gets 0.
+        assert ranks.tolist() == [0, 0, 1, 0, 1, 2]
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_property(self, groups):
+        groups = np.array(groups)
+        ranks = _rank_within_groups(groups)
+        for g in np.unique(groups):
+            got = ranks[groups == g]
+            assert sorted(got.tolist()) == list(range(got.size))
+
+
+class TestRouteViaSubmeshes:
+    def test_delivers_and_breaks_down(self):
+        mesh = Mesh(8)
+        tess = Tessellation.uniform(mesh.n, 4)
+        rng = np.random.default_rng(7)
+        src = rng.permutation(mesh.n)
+        dst = rng.integers(0, mesh.n, mesh.n)
+        res = route_via_submeshes(mesh, PacketBatch(src, dst), tess)
+        assert res.steps == res.sort_steps + res.spread_steps + res.deliver_steps
+        assert res.sort_steps > 0
+
+    def test_empty(self):
+        mesh = Mesh(4)
+        res = route_via_submeshes(
+            mesh, PacketBatch(np.zeros(0), np.zeros(0)), Tessellation.uniform(16, 4)
+        )
+        assert res.steps == 0
+
+    def test_spread_balances_receivers(self):
+        """After the spread phase no node should hold more than
+        ceil(packets_to_submesh / m) + small packets — the whole point of
+        rank-based spreading."""
+        mesh = Mesh(8)
+        tess = Tessellation.uniform(mesh.n, 4)
+        # Adversarial: every packet to the same final node.
+        src = np.arange(mesh.n)
+        dst = np.zeros(mesh.n, dtype=np.int64)
+        res = route_via_submeshes(mesh, PacketBatch(src, dst), tess)
+        assert res.steps > 0
+
+    def test_beats_direct_on_skewed_load(self):
+        """The Section 2 claim: when delta << l2, staged routing wins."""
+        mesh = Mesh(16)
+        tess = Tessellation.uniform(mesh.n, 16)
+        # l2 large: 8 hot nodes each receiving n/8 packets; delta small:
+        # the hot nodes are spread across different submeshes.
+        rng = np.random.default_rng(11)
+        src = np.arange(mesh.n)
+        hot = mesh.node_of_rank(np.arange(8) * (mesh.n // 8))  # 1 per 2 submeshes
+        dst = np.repeat(hot, mesh.n // 8)
+        direct = route_direct(mesh, PacketBatch(src, dst))
+        staged = route_via_submeshes(mesh, PacketBatch(src, dst), tess)
+        # The deliver phase (the contended part) must be far below the
+        # direct routing's serialized cost.
+        assert staged.deliver_steps + staged.spread_steps < direct.steps
+
+
+class TestSinglePort:
+    def test_rejects_unknown_ports(self):
+        with pytest.raises(ValueError):
+            SynchronousEngine(Mesh(4), ports="dual")
+
+    def test_single_port_delivers(self):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(1)
+        batch = PacketBatch(np.arange(mesh.n), rng.permutation(mesh.n))
+        res = SynchronousEngine(mesh, ports="single").route(batch)
+        assert res.total_hops == int(mesh.distance(batch.src, batch.dst).sum())
+
+    def test_single_port_never_faster(self):
+        """Per-node arbitration is a strict restriction of per-link."""
+        mesh = Mesh(8)
+        rng = np.random.default_rng(2)
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            src = np.arange(mesh.n)
+            dst = rng.integers(0, mesh.n, mesh.n)
+            multi = SynchronousEngine(mesh, ports="multi").route(PacketBatch(src, dst))
+            single = SynchronousEngine(mesh, ports="single").route(PacketBatch(src, dst))
+            assert single.steps >= multi.steps
+
+    def test_multi_source_single_port_slower(self):
+        """With 4 packets per source, multi-port nodes drain 4 links at
+        once while single-port nodes emit one packet per step."""
+        mesh = Mesh(8)
+        rng = np.random.default_rng(5)
+        src = np.repeat(np.arange(mesh.n), 4)
+        dst = rng.permutation(np.repeat(np.arange(mesh.n), 4))
+        multi = SynchronousEngine(mesh, ports="multi").route(PacketBatch(src, dst))
+        single = SynchronousEngine(mesh, ports="single").route(PacketBatch(src, dst))
+        assert single.steps > multi.steps

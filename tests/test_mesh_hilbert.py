@@ -1,0 +1,107 @@
+"""Tests for Hilbert encoding and curve-aware meshes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmos import HMOS
+from repro.mesh import Mesh, hilbert_decode, hilbert_encode, morton_decode
+from repro.protocol import AccessProtocol
+
+
+class TestHilbertCodec:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5])
+    def test_bijection(self, bits):
+        side = 1 << bits
+        rows, cols = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        d = hilbert_encode(rows.ravel(), cols.ravel(), bits)
+        assert sorted(d.tolist()) == list(range(side * side))
+        r2, c2 = hilbert_decode(d, bits)
+        np.testing.assert_array_equal(r2, rows.ravel())
+        np.testing.assert_array_equal(c2, cols.ravel())
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_consecutive_positions_adjacent(self, bits):
+        """The defining Hilbert property: curve neighbors are mesh
+        neighbors (L1 distance exactly 1) — false for Morton."""
+        side = 1 << bits
+        r, c = hilbert_decode(np.arange(side * side), bits)
+        step = np.abs(np.diff(r)) + np.abs(np.diff(c))
+        np.testing.assert_array_equal(step, 1)
+
+    def test_morton_lacks_adjacency(self):
+        r, c = morton_decode(np.arange(16), 2)
+        step = np.abs(np.diff(r)) + np.abs(np.diff(c))
+        assert step.max() > 1
+
+    def test_locality_beats_morton(self):
+        """Worst-case diameter of contiguous 64-ranges: Hilbert < Morton."""
+        bits, span = 5, 64
+        size = (1 << bits) ** 2
+
+        def worst(decode):
+            worst_d = 0
+            for start in range(0, size - span, 29):
+                r, c = decode(np.arange(start, start + span), bits)
+                worst_d = max(worst_d, int((r.max() - r.min()) + (c.max() - c.min())))
+            return worst_d
+
+        assert worst(hilbert_decode) < worst(morton_decode)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hilbert_encode(4, 0, 2)
+        with pytest.raises(ValueError):
+            hilbert_decode(16, 2)
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, row, col):
+        d = hilbert_encode(row, col, 10)
+        r, c = hilbert_decode(d, 10)
+        assert (int(r), int(c)) == (row, col)
+
+
+class TestCurveAwareMesh:
+    def test_default_is_morton(self):
+        assert Mesh(8).curve == "morton"
+
+    def test_rejects_unknown_curve(self):
+        with pytest.raises(ValueError):
+            Mesh(8, curve="peano")
+
+    @pytest.mark.parametrize("curve", ["morton", "hilbert", "row"])
+    def test_rank_roundtrip(self, curve):
+        mesh = Mesh(8, curve=curve)
+        ids = np.arange(mesh.n)
+        np.testing.assert_array_equal(mesh.node_of_rank(mesh.rank_of(ids)), ids)
+        assert sorted(mesh.rank_of(ids).tolist()) == list(range(mesh.n))
+
+    def test_row_curve_is_identity(self):
+        mesh = Mesh(4, curve="row")
+        np.testing.assert_array_equal(mesh.rank_of(np.arange(16)), np.arange(16))
+
+    def test_curves_differ(self):
+        ids = np.arange(64)
+        ranks = {c: Mesh(8, curve=c).rank_of(ids).tolist() for c in ("morton", "hilbert", "row")}
+        assert ranks["morton"] != ranks["hilbert"] != ranks["row"]
+
+
+class TestHMOSOnCurves:
+    @pytest.mark.parametrize("curve", ["morton", "hilbert", "row"])
+    def test_protocol_correct_on_any_curve(self, curve):
+        """Placement and protocol are curve-agnostic in semantics."""
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2, curve=curve)
+        proto = AccessProtocol(scheme, engine="cycle")
+        v = np.arange(64)
+        proto.write(v, v + 1000, timestamp=1)
+        res = proto.read(v)
+        np.testing.assert_array_equal(res.values, v + 1000)
+
+    def test_curves_change_physical_placement(self):
+        m = HMOS(n=64, alpha=1.5, curve="morton")
+        h = HMOS(n=64, alpha=1.5, curve="hilbert")
+        v = np.arange(50)
+        p = np.zeros(50, dtype=np.int64)
+        assert not np.array_equal(m.copy_nodes(v, p), h.copy_nodes(v, p))

@@ -1,0 +1,65 @@
+"""Tests for k-k merge-split shearsort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh, kk_sort, kk_sort_steps, shearsort_steps
+
+
+class TestKKSort:
+    @pytest.mark.parametrize("side,l", [(2, 1), (4, 2), (8, 3), (16, 4)])
+    def test_sorts_random(self, side, l):
+        mesh = Mesh(side)
+        rng = np.random.default_rng(side * 10 + l)
+        keys = rng.integers(0, 10**6, (mesh.n, l))
+        out, steps = kk_sort(mesh, keys)
+        np.testing.assert_array_equal(out.reshape(-1), np.sort(keys.reshape(-1)))
+        assert steps == kk_sort_steps(side, l)
+
+    def test_row_major_order(self):
+        """Node i's buffer holds keys strictly before node i+1's."""
+        mesh = Mesh(4)
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(mesh.n * 2).reshape(mesh.n, 2)
+        out, _ = kk_sort(mesh, keys)
+        assert (out[:-1, -1] <= out[1:, 0]).all()
+        assert (np.diff(out, axis=1) >= 0).all()
+
+    def test_l1_matches_shearsort_cost(self):
+        assert kk_sort_steps(16, 1) == shearsort_steps(16)
+
+    def test_cost_linear_in_l(self):
+        assert kk_sort_steps(8, 4) == 4 * kk_sort_steps(8, 1)
+
+    def test_duplicate_keys(self):
+        mesh = Mesh(4)
+        keys = np.full((mesh.n, 3), 7)
+        out, _ = kk_sort(mesh, keys)
+        np.testing.assert_array_equal(out, keys)
+
+    def test_already_sorted(self):
+        mesh = Mesh(4)
+        keys = np.arange(mesh.n * 2).reshape(mesh.n, 2)
+        out, _ = kk_sort(mesh, keys)
+        np.testing.assert_array_equal(out, keys)
+
+    def test_validation(self):
+        mesh = Mesh(4)
+        with pytest.raises(ValueError):
+            kk_sort(mesh, np.zeros(16))
+        with pytest.raises(ValueError):
+            kk_sort(mesh, np.zeros((8, 2)))
+        with pytest.raises(ValueError):
+            kk_sort(mesh, np.zeros((16, 0)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 6))
+    def test_sort_property(self, seed, l):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(-1000, 1000, (mesh.n, l))
+        out, steps = kk_sort(mesh, keys)
+        np.testing.assert_array_equal(out.reshape(-1), np.sort(keys.reshape(-1)))
+        assert steps == kk_sort_steps(8, l)

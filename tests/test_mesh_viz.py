@@ -1,0 +1,72 @@
+"""Tests for engine traffic accounting and the ASCII heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, PacketBatch, SynchronousEngine, load_heatmap
+from repro.mesh.viz import RAMP
+
+
+class TestNodeTraffic:
+    def test_traffic_sums_to_hops(self):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(0)
+        batch = PacketBatch(np.arange(mesh.n), rng.permutation(mesh.n))
+        res = SynchronousEngine(mesh).route(batch)
+        assert res.node_traffic.sum() == res.total_hops
+
+    def test_single_packet_path(self):
+        mesh = Mesh(4)
+        # (0,0) -> (0,3): traffic into nodes 1, 2, 3 only.
+        res = SynchronousEngine(mesh).route(PacketBatch(np.array([0]), np.array([3])))
+        np.testing.assert_array_equal(np.nonzero(res.node_traffic)[0], [1, 2, 3])
+
+    def test_empty_batch_traffic(self):
+        mesh = Mesh(4)
+        res = SynchronousEngine(mesh).route(PacketBatch(np.zeros(0), np.zeros(0)))
+        assert res.node_traffic.sum() == 0
+
+    def test_hotspot_concentrates(self):
+        mesh = Mesh(8)
+        res = SynchronousEngine(mesh).route(
+            PacketBatch(np.arange(mesh.n), np.zeros(mesh.n, dtype=np.int64))
+        )
+        assert res.node_traffic.argmax() == 0
+
+
+class TestHeatmap:
+    def test_shape(self):
+        mesh = Mesh(4)
+        text = load_heatmap(mesh, np.zeros(16), legend=False)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 4 for line in lines)
+
+    def test_zero_map_blank(self):
+        text = load_heatmap(Mesh(4), np.zeros(16), legend=False)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_max_marked(self):
+        vals = np.zeros(16)
+        vals[5] = 100
+        text = load_heatmap(Mesh(4), vals, legend=False)
+        assert text.replace("\n", "")[5] == RAMP[-1]
+
+    def test_nonzero_visible(self):
+        """Tiny nonzero values must not render as blank."""
+        vals = np.zeros(16)
+        vals[0] = 1000
+        vals[1] = 1
+        text = load_heatmap(Mesh(4), vals, legend=False).replace("\n", "")
+        assert text[1] != " "
+
+    def test_title_and_legend(self):
+        text = load_heatmap(Mesh(4), np.ones(16), title="T")
+        assert text.startswith("T\n")
+        assert "ramp=" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_heatmap(Mesh(4), np.zeros(5))
+        with pytest.raises(ValueError):
+            load_heatmap(Mesh(4), -np.ones(16))

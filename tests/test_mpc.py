@@ -1,0 +1,105 @@
+"""Tests for the MPC substrate and the [PP93a] single-level scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import MPCMachine, PP93aScheme
+
+
+class TestMPCMachine:
+    def test_cost_is_max_congestion(self):
+        m = MPCMachine(8)
+        cost = m.access(np.array([0, 0, 0, 1, 2]))
+        assert cost.steps == 3
+        assert cost.max_module_load == 3
+
+    def test_empty_batch(self):
+        assert MPCMachine(4).access(np.array([], dtype=np.int64)).steps == 0
+
+    def test_accumulates(self):
+        m = MPCMachine(4)
+        m.access(np.array([0, 0]))
+        m.access(np.array([1]))
+        assert m.total_steps == 3
+        assert m.batches == 2
+
+    def test_rejects_bad_module(self):
+        with pytest.raises(ValueError):
+            MPCMachine(4).access(np.array([4]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            MPCMachine(4).access(np.zeros((2, 2), dtype=np.int64))
+
+    def test_mean_load_over_hit_modules(self):
+        cost = MPCMachine(8).access(np.array([0, 0, 1, 1]))
+        assert cost.mean_module_load == 2.0
+
+
+class TestPP93aScheme:
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        return PP93aScheme(3, 4)  # 81 modules, 1080 variables
+
+    def test_structure(self, scheme):
+        assert scheme.num_modules == 81
+        assert scheme.num_variables == 1080
+        assert scheme.majority == 2
+
+    def test_copy_modules_distinct(self, scheme):
+        mods = scheme.copy_modules(np.arange(100))
+        for row in mods:
+            assert len(set(row.tolist())) == scheme.q
+
+    def test_selection_is_majority(self, scheme):
+        res = scheme.select_copies(np.arange(50))
+        np.testing.assert_array_equal(
+            res.selected_per_variable.sum(axis=1), scheme.majority
+        )
+
+    def test_adversarial_congestion_defused(self, scheme):
+        """All requests through one module: naive load = |R|, selected
+        load stays within the sqrt-style bound — the PP93a claim."""
+        adv = scheme.graph.adjacent_inputs(0)
+        naive = MPCMachine(scheme.num_modules).access(
+            scheme.copy_modules(adv).reshape(-1)
+        )
+        res = scheme.select_copies(adv)
+        assert naive.max_module_load == adv.size
+        assert res.cost.max_module_load <= scheme.congestion_bound(adv.size)
+        assert res.cost.max_module_load < naive.max_module_load // 3
+
+    def test_uniform_congestion_small(self, scheme):
+        rng = np.random.default_rng(1)
+        reqs = rng.choice(scheme.num_variables, scheme.num_modules, replace=False)
+        res = scheme.select_copies(reqs)
+        assert res.cost.max_module_load <= scheme.congestion_bound(reqs.size)
+
+    def test_rejects_duplicates(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.select_copies(np.array([1, 1]))
+
+    def test_partial_memory(self):
+        scheme = PP93aScheme(3, 3, num_variables=50)
+        res = scheme.select_copies(np.arange(20))
+        assert res.cost.max_module_load <= scheme.congestion_bound(20)
+
+    def test_rejects_q2(self):
+        with pytest.raises(ValueError):
+            PP93aScheme(2, 3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(10, 81))
+    def test_congestion_bound_property(self, seed, count):
+        scheme = PP93aScheme(3, 4)
+        rng = np.random.default_rng(seed)
+        reqs = rng.choice(scheme.num_variables, count, replace=False)
+        res = scheme.select_copies(reqs)
+        assert res.cost.max_module_load <= scheme.congestion_bound(count)
+        # Every selection is a genuine majority of existing copies.
+        mods = scheme.copy_modules(reqs)
+        sel = res.selected_per_variable
+        assert (sel.sum(axis=1) == scheme.majority).all()
+        assert mods.shape == sel.shape

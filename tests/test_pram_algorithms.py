@@ -1,0 +1,167 @@
+"""Tests for the PRAM algorithm library on both backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmos import HMOS
+from repro.pram import IdealBackend, MeshBackend, PRAMMachine
+from repro.pram.algorithms import (
+    list_ranking,
+    matvec,
+    odd_even_sort,
+    prefix_sum,
+    reduce_max,
+    reduce_sum,
+)
+
+
+def ideal_machine(P=64, mem=4096):
+    return PRAMMachine(IdealBackend(mem), P)
+
+
+def mesh_machine():
+    scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+    return PRAMMachine(MeshBackend(scheme, engine="model"), 64)
+
+
+class TestPrefixSum:
+    def test_known(self):
+        got = prefix_sum(ideal_machine(), np.array([1, 2, 3, 4, 5]))
+        np.testing.assert_array_equal(got, [1, 3, 6, 10, 15])
+
+    def test_single(self):
+        np.testing.assert_array_equal(prefix_sum(ideal_machine(), np.array([7])), [7])
+
+    def test_empty(self):
+        assert prefix_sum(ideal_machine(), np.array([], dtype=np.int64)).size == 0
+
+    def test_log_depth(self):
+        m = ideal_machine()
+        prefix_sum(m, np.arange(64))
+        # 6 doubling rounds, 3 steps each, plus scatter/gather (4+4+... )
+        assert m.pram_steps <= 3 * 6 + 16
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numpy(self, xs):
+        got = prefix_sum(ideal_machine(), np.array(xs))
+        np.testing.assert_array_equal(got, np.cumsum(xs))
+
+    def test_on_mesh(self):
+        data = np.arange(1, 33)
+        got = prefix_sum(mesh_machine(), data)
+        np.testing.assert_array_equal(got, np.cumsum(data))
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            prefix_sum(ideal_machine(P=4), np.arange(10))
+
+
+class TestReduce:
+    def test_sum(self):
+        assert reduce_sum(ideal_machine(), np.arange(37)) == 37 * 36 // 2
+
+    def test_max(self):
+        assert reduce_max(ideal_machine(), np.array([3, 9, 1, 9, 2])) == 9
+
+    def test_singleton(self):
+        assert reduce_sum(ideal_machine(), np.array([5])) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_sum(ideal_machine(), np.array([], dtype=np.int64))
+
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=50))
+    @settings(max_examples=20, deadline=None)
+    def test_property(self, xs):
+        assert reduce_sum(ideal_machine(), np.array(xs)) == sum(xs)
+        assert reduce_max(ideal_machine(), np.array(xs)) == max(xs)
+
+    def test_on_mesh(self):
+        assert reduce_max(mesh_machine(), np.array([4, 8, 15, 16, 23, 42])) == 42
+
+
+class TestListRanking:
+    def _chain(self, order):
+        """successor array for the list visiting `order` left-to-right."""
+        m = len(order)
+        successor = np.empty(m, dtype=np.int64)
+        for pos in range(m - 1):
+            successor[order[pos]] = order[pos + 1]
+        successor[order[-1]] = order[-1]
+        return successor
+
+    def test_identity_chain(self):
+        successor = self._chain(list(range(8)))
+        got = list_ranking(ideal_machine(), successor)
+        np.testing.assert_array_equal(got, np.arange(7, -1, -1))
+
+    def test_shuffled_chain(self):
+        rng = np.random.default_rng(3)
+        order = rng.permutation(32).tolist()
+        got = list_ranking(ideal_machine(), self._chain(order))
+        for pos, node in enumerate(order):
+            assert got[node] == len(order) - 1 - pos
+
+    def test_rejects_bad_successor(self):
+        with pytest.raises(ValueError):
+            list_ranking(ideal_machine(), np.array([5]))
+
+    def test_on_mesh(self):
+        order = [3, 1, 4, 0, 2]
+        got = list_ranking(mesh_machine(), self._chain(order))
+        for pos, node in enumerate(order):
+            assert got[node] == len(order) - 1 - pos
+
+
+class TestMatvec:
+    def test_known(self):
+        A = np.array([[1, 2], [3, 4], [5, 6]])
+        x = np.array([10, 1])
+        got = matvec(ideal_machine(), A, x)
+        np.testing.assert_array_equal(got, A @ x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            matvec(ideal_machine(), np.array([[1, 2]]), np.array([1, 2, 3]))
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_property(self, r, c, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.integers(-50, 50, (r, c))
+        x = rng.integers(-50, 50, c)
+        got = matvec(ideal_machine(mem=8192), A, x)
+        np.testing.assert_array_equal(got, A @ x)
+
+    def test_on_mesh(self):
+        A = np.arange(12).reshape(4, 3)
+        x = np.array([1, -1, 2])
+        got = matvec(mesh_machine(), A, x)
+        np.testing.assert_array_equal(got, A @ x)
+
+
+class TestSorting:
+    def test_known(self):
+        got = odd_even_sort(ideal_machine(), np.array([5, 2, 9, 1, 7]))
+        np.testing.assert_array_equal(got, [1, 2, 5, 7, 9])
+
+    def test_sorted_input(self):
+        got = odd_even_sort(ideal_machine(), np.arange(10))
+        np.testing.assert_array_equal(got, np.arange(10))
+
+    def test_single(self):
+        np.testing.assert_array_equal(odd_even_sort(ideal_machine(), np.array([1])), [1])
+
+    @given(st.lists(st.integers(-100, 100), min_size=2, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_property(self, xs):
+        got = odd_even_sort(ideal_machine(), np.array(xs))
+        np.testing.assert_array_equal(got, np.sort(xs))
+
+    def test_on_mesh(self):
+        data = np.array([9, 3, 7, 1, 8, 2, 6, 4])
+        got = odd_even_sort(mesh_machine(), data)
+        np.testing.assert_array_equal(got, np.sort(data))

@@ -1,0 +1,180 @@
+"""Tests for the extended PRAM algorithm library (BFS, Jacobi, matmul)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmos import HMOS
+from repro.pram import IdealBackend, MeshBackend, PRAMMachine
+from repro.pram.algorithms import bfs, jacobi_1d, matmul
+
+
+def ideal_machine(P=64, mem=16384):
+    return PRAMMachine(IdealBackend(mem), P)
+
+
+def mesh_machine():
+    scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+    return PRAMMachine(MeshBackend(scheme, engine="model"), 64)
+
+
+def csr_from_graph(g: nx.Graph, V: int):
+    offsets = [0]
+    targets = []
+    for v in range(V):
+        nbrs = sorted(g.neighbors(v)) if v in g else []
+        targets.extend(nbrs)
+        offsets.append(len(targets))
+    return np.array(offsets, dtype=np.int64), np.array(targets, dtype=np.int64)
+
+
+class TestBFS:
+    def test_path_graph(self):
+        g = nx.path_graph(8)
+        offsets, targets = csr_from_graph(g, 8)
+        got = bfs(ideal_machine(), offsets, targets, source=0)
+        np.testing.assert_array_equal(got, np.arange(8))
+
+    def test_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        offsets, targets = csr_from_graph(g, 3)
+        got = bfs(ideal_machine(), offsets, targets, source=0)
+        np.testing.assert_array_equal(got, [0, 1, -1])
+
+    def test_star(self):
+        g = nx.star_graph(6)  # center 0
+        offsets, targets = csr_from_graph(g, 7)
+        got = bfs(ideal_machine(), offsets, targets, source=0)
+        np.testing.assert_array_equal(got, [0, 1, 1, 1, 1, 1, 1])
+
+    def test_matches_networkx_random(self):
+        rng = np.random.default_rng(0)
+        g = nx.gnp_random_graph(20, 0.15, seed=3)
+        offsets, targets = csr_from_graph(g, 20)
+        got = bfs(ideal_machine(), offsets, targets, source=0)
+        expect = nx.single_source_shortest_path_length(g, 0)
+        for v in range(20):
+            assert got[v] == expect.get(v, -1)
+
+    def test_malformed_csr(self):
+        with pytest.raises(ValueError):
+            bfs(ideal_machine(), np.array([1, 2]), np.array([0]), 0)
+        with pytest.raises(ValueError):
+            bfs(ideal_machine(), np.array([0, 1]), np.array([5]), 0)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bfs(ideal_machine(), np.array([0, 0]), np.array([], dtype=np.int64), 3)
+
+    def test_on_mesh(self):
+        g = nx.cycle_graph(12)
+        offsets, targets = csr_from_graph(g, 12)
+        got = bfs(mesh_machine(), offsets, targets, source=0)
+        expect = [0, 1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1]
+        np.testing.assert_array_equal(got, expect)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_bfs_property(self, seed):
+        g = nx.gnp_random_graph(12, 0.25, seed=seed % 10000)
+        offsets, targets = csr_from_graph(g, 12)
+        got = bfs(ideal_machine(), offsets, targets, source=0)
+        expect = nx.single_source_shortest_path_length(g, 0)
+        for v in range(12):
+            assert got[v] == expect.get(v, -1)
+
+
+class TestJacobi:
+    def test_zero_sweeps_identity(self):
+        data = np.array([10, 5, 7, 2, 8])
+        got = jacobi_1d(ideal_machine(), data, sweeps=0)
+        np.testing.assert_array_equal(got, data)
+
+    def test_one_sweep(self):
+        data = np.array([0, 10, 0, 10, 0])
+        got = jacobi_1d(ideal_machine(), data, sweeps=1)
+        # interior: (0+0)//2=0, (10+10)//2=10, (0+0)//2=0
+        np.testing.assert_array_equal(got, [0, 0, 10, 0, 0])
+
+    def test_boundaries_fixed(self):
+        data = np.array([100, 0, 0, 0, 50])
+        got = jacobi_1d(ideal_machine(), data, sweeps=7)
+        assert got[0] == 100 and got[-1] == 50
+
+    def test_converges_toward_linear(self):
+        m = 9
+        data = np.zeros(m, dtype=np.int64)
+        data[0], data[-1] = 0, 800
+        got = jacobi_1d(ideal_machine(), data, sweeps=200)
+        # steady state of the discrete Laplace equation = linear ramp
+        np.testing.assert_allclose(got, np.linspace(0, 800, m), atol=8)
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 100, 12)
+        got = jacobi_1d(ideal_machine(), data, sweeps=5)
+        ref = data.astype(np.int64).copy()
+        for _ in range(5):
+            nxt = ref.copy()
+            nxt[1:-1] = (ref[:-2] + ref[2:]) // 2
+            ref = nxt
+        np.testing.assert_array_equal(got, ref)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jacobi_1d(ideal_machine(), np.array([1, 2]), 1)
+        with pytest.raises(ValueError):
+            jacobi_1d(ideal_machine(), np.array([1, 2, 3]), -1)
+
+    def test_on_mesh(self):
+        data = np.array([0, 4, 4, 4, 16])
+        got_mesh = jacobi_1d(mesh_machine(), data, sweeps=3)
+        got_ideal = jacobi_1d(ideal_machine(), data, sweeps=3)
+        np.testing.assert_array_equal(got_mesh, got_ideal)
+
+
+class TestMatmul:
+    def test_known(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[5, 6], [7, 8]])
+        got = matmul(ideal_machine(), a, b)
+        np.testing.assert_array_equal(got, a @ b)
+
+    def test_rectangular(self):
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(12).reshape(3, 4)
+        got = matmul(ideal_machine(), a, b)
+        np.testing.assert_array_equal(got, a @ b)
+
+    def test_identity(self):
+        a = np.eye(4, dtype=np.int64) * 3
+        b = np.arange(16).reshape(4, 4)
+        got = matmul(ideal_machine(), a, b)
+        np.testing.assert_array_equal(got, 3 * b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matmul(ideal_machine(), np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_capacity(self):
+        with pytest.raises(ValueError):
+            matmul(ideal_machine(P=4), np.ones((3, 3)), np.ones((3, 3)))
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_property(self, r, s, c, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-20, 20, (r, s))
+        b = rng.integers(-20, 20, (s, c))
+        got = matmul(ideal_machine(mem=32768), a, b)
+        np.testing.assert_array_equal(got, a @ b)
+
+    def test_on_mesh(self):
+        a = np.array([[2, 0], [1, 3]])
+        b = np.array([[1, 4], [2, 5]])
+        got = matmul(mesh_machine(), a, b)
+        np.testing.assert_array_equal(got, a @ b)

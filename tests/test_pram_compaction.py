@@ -1,0 +1,106 @@
+"""Tests for segmented scan and stream compaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmos import HMOS
+from repro.pram import IdealBackend, MeshBackend, PRAMMachine
+from repro.pram.algorithms import compact, segmented_scan
+
+
+def ideal_machine(P=64, mem=8192):
+    return PRAMMachine(IdealBackend(mem), P)
+
+
+def reference_segscan(values, heads):
+    out = np.empty_like(values)
+    acc = 0
+    for i, (v, h) in enumerate(zip(values, heads)):
+        acc = v if h else acc + v
+        out[i] = acc
+    return out
+
+
+class TestSegmentedScan:
+    def test_single_segment_is_cumsum(self):
+        vals = np.arange(1, 9)
+        heads = np.zeros(8, dtype=np.int64)
+        heads[0] = 1
+        got = segmented_scan(ideal_machine(), vals, heads)
+        np.testing.assert_array_equal(got, np.cumsum(vals))
+
+    def test_two_segments(self):
+        vals = np.array([1, 2, 3, 4, 5, 6])
+        heads = np.array([1, 0, 0, 1, 0, 0])
+        got = segmented_scan(ideal_machine(), vals, heads)
+        np.testing.assert_array_equal(got, [1, 3, 6, 4, 9, 15])
+
+    def test_every_position_head(self):
+        vals = np.array([5, 6, 7])
+        heads = np.ones(3, dtype=np.int64)
+        got = segmented_scan(ideal_machine(), vals, heads)
+        np.testing.assert_array_equal(got, vals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segmented_scan(ideal_machine(), np.arange(4), np.arange(3))
+        with pytest.raises(ValueError):
+            segmented_scan(ideal_machine(), np.arange(4), np.full(4, 2))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 48))
+    def test_matches_reference(self, seed, m):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-50, 50, m)
+        heads = (rng.random(m) < 0.3).astype(np.int64)
+        heads[0] = 1
+        got = segmented_scan(ideal_machine(), vals, heads)
+        np.testing.assert_array_equal(got, reference_segscan(vals, heads))
+
+    def test_on_mesh(self):
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        m = PRAMMachine(MeshBackend(scheme, engine="model"), 64)
+        vals = np.arange(1, 13)
+        heads = np.array([1, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0])
+        got = segmented_scan(m, vals, heads)
+        np.testing.assert_array_equal(got, reference_segscan(vals, heads))
+
+
+class TestCompact:
+    def test_basic(self):
+        vals = np.array([9, 2, 7, 4, 5])
+        keep = np.array([1, 0, 1, 0, 1])
+        got = compact(ideal_machine(), vals, keep)
+        np.testing.assert_array_equal(got, [9, 7, 5])
+
+    def test_keep_all(self):
+        vals = np.arange(6)
+        got = compact(ideal_machine(), vals, np.ones(6, dtype=np.int64))
+        np.testing.assert_array_equal(got, vals)
+
+    def test_keep_none(self):
+        got = compact(ideal_machine(), np.arange(6), np.zeros(6, dtype=np.int64))
+        assert got.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compact(ideal_machine(), np.arange(4), np.arange(3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 40))
+    def test_matches_numpy(self, seed, m):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 1000, m)
+        keep = (rng.random(m) < 0.5).astype(np.int64)
+        got = compact(ideal_machine(), vals, keep)
+        np.testing.assert_array_equal(got, vals[keep == 1])
+
+    def test_on_mesh(self):
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        m = PRAMMachine(MeshBackend(scheme, engine="model"), 64)
+        vals = np.arange(10, 26)
+        keep = (np.arange(16) % 3 == 0).astype(np.int64)
+        got = compact(m, vals, keep)
+        np.testing.assert_array_equal(got, vals[keep == 1])

@@ -1,0 +1,259 @@
+"""Tests for the instruction-level PRAM interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.hmos import HMOS
+from repro.pram import IdealBackend, MeshBackend, PRAMMachine
+from repro.pram.interpreter import (
+    AssemblyError,
+    Interpreter,
+    assemble,
+)
+from repro.pram.interpreter.programs import (
+    array_reverse,
+    histogram,
+    sum_reduction,
+    vector_scale,
+)
+
+
+def machine(P=8, mem=1024):
+    return PRAMMachine(IdealBackend(mem), P)
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        prog = assemble("li r1, 5\nhalt")
+        assert len(prog) == 2
+        assert prog.instructions[0].op == "li"
+
+    def test_labels_resolve(self):
+        prog = assemble("start:\n  jmp start")
+        assert prog.labels == {"start": 0}
+        assert prog.instructions[0].operands[0].value == 0
+
+    def test_label_on_same_line(self):
+        prog = assemble("loop: add r1, r1, 1\n jmp loop")
+        assert prog.labels["loop"] == 0
+
+    def test_comments_stripped(self):
+        prog = assemble("li r1, 1  # set\n; full line\nhalt")
+        assert len(prog) == 2
+
+    def test_negative_immediates(self):
+        prog = assemble("li r1, -3\nhalt")
+        assert prog.instructions[0].operands[1].value == -3
+
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblyError, match="unknown instruction"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            assemble("li r16, 0")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a:\na:\nhalt")
+
+    def test_immediate_destination_rejected(self):
+        with pytest.raises(AssemblyError, match="writable register"):
+            assemble("li 5, 3")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError, match="empty"):
+            assemble("# nothing here")
+
+    def test_special_registers_parse(self):
+        prog = assemble("mov r1, pid\nmov r2, nproc\nhalt")
+        assert prog.instructions[0].operands[1].kind == "pid"
+
+
+class TestInterpreter:
+    def test_li_and_halt(self):
+        state = Interpreter(machine()).run(assemble("li r1, 42\nhalt"))
+        np.testing.assert_array_equal(state.registers[:, 1], 42)
+        assert state.all_halted
+
+    def test_pid_register(self):
+        state = Interpreter(machine()).run(assemble("mov r1, pid\nhalt"))
+        np.testing.assert_array_equal(state.registers[:, 1], np.arange(8))
+
+    def test_alu_ops(self):
+        src = """
+            li r1, 10
+            li r2, 3
+            add r3, r1, r2
+            sub r4, r1, r2
+            mul r5, r1, r2
+            div r6, r1, r2
+            mod r7, r1, r2
+            min r8, r1, r2
+            max r9, r1, r2
+            halt
+        """
+        state = Interpreter(machine()).run(assemble(src))
+        got = state.registers[0, 3:10].tolist()
+        assert got == [13, 7, 30, 3, 1, 3, 10]
+
+    def test_divide_by_zero_reports_processor(self):
+        with pytest.raises(ZeroDivisionError, match="processor"):
+            Interpreter(machine()).run(assemble("li r1, 0\ndiv r2, r1, r1\nhalt"))
+
+    def test_branching_loop(self):
+        src = """
+            li r1, 0
+        loop:
+            add r1, r1, 1
+            blt r1, 5, loop
+            halt
+        """
+        state = Interpreter(machine()).run(assemble(src))
+        np.testing.assert_array_equal(state.registers[:, 1], 5)
+
+    def test_divergent_control_flow(self):
+        """Odd processors take a different path than even ones."""
+        src = """
+            mod r1, pid, 2
+            beq r1, 0, even
+            li r2, 111
+            halt
+        even:
+            li r2, 222
+            halt
+        """
+        state = Interpreter(machine()).run(assemble(src))
+        expect = np.where(np.arange(8) % 2 == 0, 222, 111)
+        np.testing.assert_array_equal(state.registers[:, 2], expect)
+
+    def test_load_store_roundtrip(self):
+        m = machine()
+        state = Interpreter(m).run(assemble("""
+            mul r1, pid, 7
+            store pid, r1
+            load r2, pid
+            halt
+        """))
+        np.testing.assert_array_equal(state.registers[:, 2], np.arange(8) * 7)
+        assert state.read_steps == 1 and state.write_steps == 1
+
+    def test_fall_off_end_halts(self):
+        state = Interpreter(machine()).run(assemble("li r1, 1"))
+        assert state.all_halted
+
+    def test_max_rounds_guard(self):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            Interpreter(machine()).run(assemble("loop: jmp loop"), max_rounds=10)
+
+    def test_initial_registers(self):
+        init = np.zeros((8, 16), dtype=np.int64)
+        init[:, 5] = 99
+        state = Interpreter(machine()).run(
+            assemble("mov r1, r5\nhalt"), registers=init
+        )
+        np.testing.assert_array_equal(state.registers[:, 1], 99)
+
+    def test_bad_register_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Interpreter(machine()).run(
+                assemble("halt"), registers=np.zeros((2, 2))
+            )
+
+
+class TestPrograms:
+    def test_vector_scale(self):
+        m = machine()
+        m.scatter(0, np.arange(8))
+        Interpreter(m).run(vector_scale(3))
+        np.testing.assert_array_equal(m.gather(0, 8), np.arange(8) * 3)
+
+    def test_sum_reduction(self):
+        m = machine()
+        data = np.array([5, 1, 4, 1, 5, 9, 2, 6])
+        m.scatter(0, data)
+        state = Interpreter(m).run(sum_reduction())
+        assert m.gather(0, 1)[0] == data.sum()
+        # log-depth: 3 strides, bounded rounds
+        assert state.rounds < 60
+
+    def test_array_reverse(self):
+        m = machine()
+        data = np.arange(10, 18)
+        m.scatter(0, data)
+        Interpreter(m).run(array_reverse())
+        np.testing.assert_array_equal(m.gather(8, 8), data[::-1])
+
+    def test_histogram(self):
+        m = machine(P=8, mem=64)
+        data = np.array([0, 1, 1, 2, 0, 1, 3, 0])
+        m.scatter(0, data)
+        Interpreter(m).run(histogram(4))
+        np.testing.assert_array_equal(m.gather(8, 4), [3, 3, 1, 1])
+
+    def test_sum_reduction_on_mesh(self):
+        """Instruction-level PRAM program simulated on the mesh."""
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        m = PRAMMachine(MeshBackend(scheme, engine="model"), 64)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 100, 64)
+        m.scatter(0, data)
+        Interpreter(m).run(sum_reduction())
+        assert m.gather(0, 1)[0] == data.sum()
+        assert m.cost > 0
+
+
+class TestBitwiseOps:
+    def test_logic_ops(self):
+        src = """
+            li r1, 12
+            li r2, 10
+            and r3, r1, r2
+            or  r4, r1, r2
+            xor r5, r1, r2
+            halt
+        """
+        state = Interpreter(machine()).run(assemble(src))
+        assert state.registers[0, 3:6].tolist() == [8, 14, 6]
+
+    def test_shifts(self):
+        src = """
+            li r1, 3
+            shl r2, r1, 4
+            shr r3, r2, 2
+            halt
+        """
+        state = Interpreter(machine()).run(assemble(src))
+        assert state.registers[0, 2] == 48
+        assert state.registers[0, 3] == 12
+
+    def test_shift_count_validated(self):
+        with pytest.raises(ValueError, match="shift count"):
+            Interpreter(machine()).run(assemble("li r1, 64\nshl r2, r1, r1\nhalt"))
+
+    def test_bit_trick_program(self):
+        """Round pid up to the next power of two using shifts/ors."""
+        src = """
+            sub r1, pid, 1
+            or r1, r1, 0
+            shr r2, r1, 1
+            or r1, r1, r2
+            shr r2, r1, 2
+            or r1, r1, r2
+            shr r2, r1, 4
+            or r1, r1, r2
+            add r1, r1, 1
+            max r1, r1, 1
+            halt
+        """
+        state = Interpreter(machine()).run(assemble(src))
+        expect = [1, 1, 2, 4, 4, 8, 8, 8]
+        assert state.registers[:, 1].tolist() == expect

@@ -1,0 +1,91 @@
+"""Tests for the concurrent-access policies (EREW/CREW/CRCW variants)."""
+
+import numpy as np
+import pytest
+
+from repro.pram import IDLE, IdealBackend, PRAMMachine
+
+
+def machine(policy, P=8):
+    return PRAMMachine(IdealBackend(256), P, policy=policy)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            machine("anarchic")
+
+
+class TestPriority:
+    def test_lowest_id_wins(self):
+        m = machine("priority")
+        m.write(np.full(8, 3), np.arange(8) + 10)
+        assert m.read(np.array([3] + [IDLE] * 7))[0] == 10
+
+
+class TestCombining:
+    def test_sum_combines(self):
+        m = machine("sum")
+        m.write(np.full(8, 3), np.arange(8))
+        assert m.read(np.array([3] + [IDLE] * 7))[0] == 28
+
+    def test_max_combines(self):
+        m = machine("max")
+        m.write(np.full(8, 3), np.array([4, 9, 1, 9, 2, 0, 3, 5]))
+        assert m.read(np.array([3] + [IDLE] * 7))[0] == 9
+
+    def test_sum_without_conflicts_plain(self):
+        m = machine("sum")
+        m.write(np.arange(8), np.arange(8) * 2)
+        np.testing.assert_array_equal(m.read(np.arange(8)), np.arange(8) * 2)
+
+    def test_sum_mixed_conflicts(self):
+        """Some cells conflict, others don't — each folds independently."""
+        m = machine("sum")
+        addrs = np.array([0, 0, 1, 2, 2, 2, 3, IDLE])
+        m.write(addrs, np.array([1, 2, 5, 1, 1, 1, 7, 0]))
+        got = m.read(np.array([0, 1, 2, 3, IDLE, IDLE, IDLE, IDLE]))
+        np.testing.assert_array_equal(got[:4], [3, 5, 3, 7])
+
+    def test_max_negative_values(self):
+        m = machine("max")
+        addrs = np.array([5, 5, IDLE, IDLE, IDLE, IDLE, IDLE, IDLE])
+        m.write(addrs, np.array([-7, -3, 0, 0, 0, 0, 0, 0]))
+        assert m.read(np.array([5] + [IDLE] * 7))[0] == -3
+
+
+class TestCREW:
+    def test_concurrent_read_allowed(self):
+        m = machine("crew")
+        got = m.read(np.full(8, 5))
+        np.testing.assert_array_equal(got, 0)
+
+    def test_concurrent_write_raises(self):
+        m = machine("crew")
+        with pytest.raises(RuntimeError, match="CREW violation"):
+            m.write(np.full(8, 5), np.arange(8))
+
+    def test_exclusive_write_fine(self):
+        m = machine("crew")
+        m.write(np.arange(8), np.arange(8))
+        np.testing.assert_array_equal(m.read(np.arange(8)), np.arange(8))
+
+
+class TestEREW:
+    def test_concurrent_read_raises(self):
+        m = machine("erew")
+        with pytest.raises(RuntimeError, match="EREW violation"):
+            m.read(np.full(8, 5))
+
+    def test_concurrent_write_raises(self):
+        m = machine("erew")
+        with pytest.raises(RuntimeError, match="EREW violation"):
+            m.write(np.full(8, 5), np.arange(8))
+
+    def test_exclusive_program_runs(self):
+        """The scan algorithm is EREW-safe and must run under EREW."""
+        from repro.pram.algorithms import prefix_sum
+
+        m = PRAMMachine(IdealBackend(4096), 64, policy="erew")
+        got = prefix_sum(m, np.arange(1, 17))
+        np.testing.assert_array_equal(got, np.cumsum(np.arange(1, 17)))

@@ -1,0 +1,87 @@
+"""Tests for mixed read/write PRAM steps (the paper's actual step shape)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmos import HMOS
+from repro.protocol import AccessProtocol
+
+
+@pytest.fixture()
+def proto():
+    return AccessProtocol(HMOS(n=64, alpha=1.5, q=3, k=2), engine="model")
+
+
+class TestMixedStep:
+    def test_all_reads_equals_read(self, proto):
+        v = np.arange(16)
+        proto.write(v, v * 2, timestamp=1)
+        res = proto.mixed(
+            v, np.zeros(16, dtype=bool), np.zeros(16, dtype=np.int64), timestamp=2
+        )
+        np.testing.assert_array_equal(res.values, v * 2)
+        assert res.op == "mixed"
+
+    def test_all_writes_equals_write(self, proto):
+        v = np.arange(16)
+        proto.mixed(v, np.ones(16, dtype=bool), v + 7, timestamp=1)
+        res = proto.read(v)
+        np.testing.assert_array_equal(res.values, v + 7)
+
+    def test_split_step(self, proto):
+        """Half the processors write, half read, in one journey."""
+        v = np.arange(32)
+        proto.write(v, np.full(32, 5), timestamp=1)
+        is_write = np.arange(32) % 2 == 0
+        res = proto.mixed(v, is_write, v * 10, timestamp=2)
+        # Readers see the old value 5.
+        np.testing.assert_array_equal(res.values[~is_write], 5)
+        # Writers took effect.
+        after = proto.read(v)
+        expect = np.where(is_write, v * 10, 5)
+        np.testing.assert_array_equal(after.values, expect)
+
+    def test_reads_see_pre_step_values(self, proto):
+        """Even written variables report their pre-step value."""
+        v = np.arange(8)
+        proto.write(v, np.full(8, 3), timestamp=1)
+        res = proto.mixed(v, np.ones(8, dtype=bool), np.full(8, 9), timestamp=2)
+        np.testing.assert_array_equal(res.values, 3)  # old values
+
+    def test_single_journey_cost(self, proto):
+        """A mixed step costs one journey, not a read + a write."""
+        v = np.arange(32)
+        mixed = proto.mixed(
+            v, np.arange(32) % 2 == 0, v, timestamp=1
+        ).total_steps
+        separate = (
+            proto.read(v[1::2]).total_steps
+            + proto.write(v[::2], v[::2], timestamp=2).total_steps
+        )
+        assert mixed < separate
+
+    def test_validation(self, proto):
+        with pytest.raises(ValueError):
+            proto.mixed(np.arange(4), np.zeros(3, dtype=bool), np.zeros(4), timestamp=1)
+        with pytest.raises(ValueError):
+            proto.mixed(np.arange(4), np.zeros(4, dtype=bool), np.zeros(3), timestamp=1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_mixed_consistency_property(self, seed):
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        proto = AccessProtocol(scheme, engine="model")
+        rng = np.random.default_rng(seed)
+        shadow = {}
+        for t in range(1, 6):
+            v = rng.choice(scheme.num_variables, 24, replace=False)
+            is_write = rng.random(24) < 0.5
+            vals = rng.integers(0, 10**6, 24)
+            res = proto.mixed(v, is_write, vals, timestamp=t)
+            expect = np.array([shadow.get(int(x), 0) for x in v])
+            np.testing.assert_array_equal(res.values, expect)
+            for var, w, val in zip(v.tolist(), is_write.tolist(), vals.tolist()):
+                if w:
+                    shadow[var] = val

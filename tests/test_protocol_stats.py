@@ -1,0 +1,66 @@
+"""Tests for the simulation report aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.hmos import HMOS
+from repro.protocol import AccessProtocol, SimulationReport
+
+
+@pytest.fixture()
+def populated():
+    scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+    proto = AccessProtocol(scheme, engine="model")
+    report = SimulationReport()
+    v = np.arange(32)
+    report.record(proto.write(v, v, timestamp=1))
+    report.record(proto.read(v))
+    report.record(proto.read(v + 40))
+    return report
+
+
+class TestReport:
+    def test_empty(self):
+        r = SimulationReport()
+        assert r.steps == 0
+        assert r.mean_step_cost == 0.0
+        assert "no steps" in r.summary()
+
+    def test_counts(self, populated):
+        assert populated.steps == 3
+        assert populated.op_counts() == {"read": 2, "write": 1}
+
+    def test_totals(self, populated):
+        assert populated.total_mesh_steps == pytest.approx(
+            sum(r.total_steps for r in populated.results)
+        )
+        assert populated.mean_step_cost == pytest.approx(
+            populated.total_mesh_steps / 3
+        )
+
+    def test_breakdown_sums_to_total(self, populated):
+        bd = populated.breakdown()
+        assert sum(bd.values()) == pytest.approx(populated.total_mesh_steps)
+        assert bd["culling"] > 0 and bd["routing"] > 0
+
+    def test_worst_delta_positive(self, populated):
+        assert populated.worst_delta() >= 1
+        assert populated.worst_page_load() >= 1
+
+    def test_summary_contents(self, populated):
+        text = populated.summary()
+        assert "3 memory steps" in text
+        assert "read: 2" in text
+        assert "time share" in text
+
+    def test_record_returns_result(self):
+        scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
+        proto = AccessProtocol(scheme, engine="model")
+        report = SimulationReport()
+        res = report.record(proto.read(np.arange(4)))
+        assert res.op == "read"
+
+    def test_extend(self, populated):
+        other = SimulationReport()
+        other.extend(populated.results)
+        assert other.steps == populated.steps

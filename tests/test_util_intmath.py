@@ -1,0 +1,113 @@
+"""Unit and property tests for repro.util.intmath."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    ceil_div,
+    ceil_log,
+    digits_from_int,
+    int_from_digits,
+    is_perfect_square,
+    is_power_of,
+    isqrt_exact,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_negative_numerator(self):
+        assert ceil_div(-11, 5) == -2
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(st.integers(-10**9, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) * b >= a
+        assert (ceil_div(a, b) - 1) * b < a
+
+
+class TestCeilLog:
+    def test_exact_power(self):
+        assert ceil_log(8, 2) == 3
+
+    def test_rounds_up(self):
+        assert ceil_log(9, 2) == 4
+
+    def test_one(self):
+        assert ceil_log(1, 3) == 0
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            ceil_log(4, 1)
+
+    @given(st.integers(1, 10**12), st.integers(2, 10))
+    def test_definition(self, v, b):
+        e = ceil_log(v, b)
+        assert b**e >= v
+        assert e == 0 or b ** (e - 1) < v
+
+
+class TestIsPowerOf:
+    @pytest.mark.parametrize("v,b,want", [(1, 2, True), (16, 2, True), (12, 2, False), (27, 3, True), (0, 2, False)])
+    def test_cases(self, v, b, want):
+        assert is_power_of(v, b) is want
+
+
+class TestIsqrt:
+    def test_square(self):
+        assert isqrt_exact(144) == 12
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            isqrt_exact(145)
+
+    def test_zero(self):
+        assert isqrt_exact(0) == 0
+
+    @given(st.integers(0, 10**6))
+    def test_roundtrip(self, r):
+        assert isqrt_exact(r * r) == r
+
+    @given(st.integers(0, 10**9))
+    def test_is_perfect_square_consistent(self, v):
+        if is_perfect_square(v):
+            assert isqrt_exact(v) ** 2 == v
+        else:
+            with pytest.raises(ValueError):
+                isqrt_exact(v)
+
+
+class TestDigits:
+    def test_scalar(self):
+        np.testing.assert_array_equal(digits_from_int(11, 2, 4), [1, 1, 0, 1])
+
+    def test_array(self):
+        got = digits_from_int(np.array([0, 5]), 3, 2)
+        np.testing.assert_array_equal(got, [[0, 0], [2, 1]])
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            digits_from_int(9, 3, 2)
+
+    def test_int_from_digits_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            int_from_digits([3, 0], 3)
+
+    @given(st.integers(0, 10**6), st.integers(2, 9))
+    def test_roundtrip(self, v, base):
+        width = ceil_log(v + 1, base) + 1
+        digits = digits_from_int(v, base, width)
+        assert int(int_from_digits(digits, base)) == v
