@@ -82,17 +82,19 @@ def _cmd_route(args) -> int:
     dst = np.repeat(hot_nodes, mesh.n // args.hot)
     rng.shuffle(dst)
     batch = PacketBatch(np.arange(mesh.n, dtype=np.int64), dst)
-    direct = route_direct(mesh, batch)
-    staged = route_via_submeshes(mesh, batch, tess)
+    direct = route_direct(mesh, batch, ports=args.ports)
+    staged = route_via_submeshes(mesh, batch, tess, ports=args.ports)
     print(format_table(
         ["strategy", "steps", "detail"],
         [
-            ["direct greedy", direct.steps, f"max queue {direct.max_queue}"],
+            ["direct greedy", direct.steps,
+             f"max in-transit queue {direct.max_queue}"],
             ["staged (Sec. 2)", staged.steps,
              f"sort {staged.sort_steps} + spread {staged.spread_steps}"
              f" + deliver {staged.deliver_steps}"],
         ],
-        title=f"{mesh.side}x{mesh.side} mesh, {args.hot} hot receivers",
+        title=f"{mesh.side}x{mesh.side} mesh, {args.hot} hot receivers, "
+        f"{args.ports}-port",
     ))
     return 0
 
@@ -168,6 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--submeshes", type=int, default=16)
     p.add_argument("--hot", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ports", choices=["multi", "single"], default="multi",
+                   help="link model: one packet per directed link (multi) "
+                   "or per node (single) per step")
     p.set_defaults(fn=_cmd_route)
 
     p = sub.add_parser("scaling", help="measured scaling exponents")

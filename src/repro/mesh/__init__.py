@@ -23,6 +23,7 @@ from repro.mesh.collectives import broadcast, reduce_all, scan_snake
 from repro.mesh.costmodel import CostModel
 from repro.mesh.deterministic import ThreePhaseResult, route_three_phase
 from repro.mesh.engine import RouteResult, SynchronousEngine
+from repro.mesh.engine_core import CoreResult, SteppingCore, reference_route
 from repro.mesh.hilbert import hilbert_decode, hilbert_encode
 from repro.mesh.ksort import kk_sort, kk_sort_steps
 from repro.mesh.morton import morton_decode, morton_encode
@@ -48,6 +49,9 @@ __all__ = [
     "Region",
     "RouteResult",
     "SynchronousEngine",
+    "CoreResult",
+    "SteppingCore",
+    "reference_route",
     "Tessellation",
     "hilbert_decode",
     "kk_sort",

@@ -71,12 +71,18 @@ def route_three_phase(mesh: Mesh, batch: PacketBatch) -> ThreePhaseResult:
     phase1 = odd_even_transposition_steps(side)
     mid1 = mesh.node_id(new_row, src_col)
 
-    # Phase 2: along rows to the destination column.
+    # Phases 2 (along rows to the destination column) and 3 (along
+    # columns to the destination row) have statically known endpoints,
+    # so they advance together in one route_many stepping loop.
     mid2 = mesh.node_id(new_row, dst_col)
-    phase2 = engine.route(PacketBatch(mid1, mid2, batch.tag)).steps
-
-    # Phase 3: along columns to the destination row.
-    phase3 = engine.route(PacketBatch(mid2, batch.dst, batch.tag)).steps
+    leg2, leg3 = engine.route_many(
+        [
+            PacketBatch(mid1, mid2, batch.tag),
+            PacketBatch(mid2, batch.dst, batch.tag),
+        ]
+    )
+    phase2 = leg2.steps
+    phase3 = leg3.steps
 
     return ThreePhaseResult(
         steps=phase1 + phase2 + phase3,

@@ -15,21 +15,32 @@ Model (matching the paper's cost unit):
 * queues are unbounded (step count, not buffer occupancy, is the measured
   quantity).
 
-The engine is fully vectorized: per step it computes every packet's
-desired link, resolves per-link winners with one lexsort, and advances
-the winners.
+The stepping itself lives in :mod:`repro.mesh.engine_core`: a compacted
+active-set core that arbitrates links with a bucketed max-scatter over
+preallocated buffers instead of the seed's per-step global lexsort, and
+that can advance several independent batches in one loop
+(:meth:`SynchronousEngine.route_many`).  The refactor is step-count
+preserving: ``steps``, ``total_hops`` and ``node_traffic`` are identical
+to the seed engine under the same farthest-first arbitration (pinned by
+``tests/test_engine_equivalence.py`` against a golden file generated
+from the seed).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.mesh.engine_core import SteppingCore
 from repro.mesh.packets import PacketBatch
 from repro.mesh.topology import Mesh
 
 __all__ = ["RouteResult", "SynchronousEngine"]
+
+
+def _no_traffic() -> np.ndarray:
+    return np.zeros(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -43,17 +54,23 @@ class RouteResult:
     total_hops : int
         Sum over packets of hops traversed (= total link-step usage).
     max_queue : int
-        Largest number of packets co-resident at one node at any step,
-        a proxy for buffer pressure.
+        Largest number of **in-transit** packets co-resident at one node
+        at the start of any step, a proxy for buffer pressure.  Packets
+        already parked at their destination have left the network and
+        are not counted; occupancy is sampled every step, so transient
+        peaks are never missed.  (Both properties fix seed-engine bugs:
+        it sampled every 8th step only and counted delivered packets.)
     node_traffic : np.ndarray
         Hops *into* each node over the whole run — the congestion map
-        (rendered by :func:`repro.mesh.viz.load_heatmap`).
+        (rendered by :func:`repro.mesh.viz.load_heatmap`).  Defaults to
+        an empty int64 array rather than ``None`` so the field is always
+        an ndarray.
     """
 
     steps: int
     total_hops: int
     max_queue: int
-    node_traffic: np.ndarray = None  # type: ignore[assignment]
+    node_traffic: np.ndarray = field(default_factory=_no_traffic)
 
 
 class SynchronousEngine:
@@ -68,6 +85,11 @@ class SynchronousEngine:
         4 packets simultaneously.  ``"single"``: a node sends at most
         one packet per step regardless of link — the weaker model some
         PRAM-simulation papers assume; routing gets up to 4x slower.
+
+    The engine owns one :class:`~repro.mesh.engine_core.SteppingCore`
+    and reuses its preallocated buffers across calls, so repeated
+    routing (protocol stages, benchmark sweeps) pays no per-call
+    allocation for the hot-loop state.
     """
 
     def __init__(self, mesh: Mesh, *, ports: str = "multi"):
@@ -75,6 +97,7 @@ class SynchronousEngine:
             raise ValueError(f"ports must be 'multi' or 'single', got {ports!r}")
         self.mesh = mesh
         self.ports = ports
+        self._core = SteppingCore(mesh, ports)
 
     def route(self, batch: PacketBatch, *, max_steps: int | None = None) -> RouteResult:
         """Deliver every packet; return the measured :class:`RouteResult`.
@@ -82,75 +105,32 @@ class SynchronousEngine:
         ``max_steps`` guards against livelock in case of a routing bug
         (greedy XY cannot livelock, so hitting the cap raises).
         """
-        mesh = self.mesh
-        npkt = len(batch)
-        if npkt == 0:
-            return RouteResult(0, 0, 0, np.zeros(mesh.n, dtype=np.int64))
-        if max_steps is None:
-            # Greedy XY delivers within distance + detour <= diam + npkt.
-            max_steps = 4 * (mesh.diameter + npkt + 8)
-        side = mesh.side
-        cur_row, cur_col = mesh.coords(batch.src.copy())
-        dst_row, dst_col = mesh.coords(batch.dst)
-        cur_row = cur_row.copy()
-        cur_col = cur_col.copy()
-        steps = 0
-        total_hops = 0
-        max_queue = int(np.bincount(batch.src, minlength=mesh.n).max())
-        node_traffic = np.zeros(mesh.n, dtype=np.int64)
+        return self.route_many([batch], max_steps=max_steps)[0]
 
-        active = (cur_row != dst_row) | (cur_col != dst_col)
-        idx_all = np.arange(npkt, dtype=np.int64)
-        while np.any(active):
-            if steps >= max_steps:
-                raise RuntimeError(
-                    f"routing exceeded {max_steps} steps; {active.sum()} stuck"
-                )
-            act = idx_all[active]
-            r, c = cur_row[act], cur_col[act]
-            dr, dc = dst_row[act], dst_col[act]
-            # XY routing: fix column first, then row.
-            move_col = dc != c
-            step_c = np.where(move_col, np.sign(dc - c), 0)
-            step_r = np.where(move_col, 0, np.sign(dr - r))
-            # Directed link key: (node, direction). Directions 0..3:
-            # E(+col), W(-col), S(+row), N(-row).
-            direction = np.where(
-                step_c == 1, 0,
-                np.where(step_c == -1, 1, np.where(step_r == 1, 2, 3)),
-            )
-            node = r * side + c
-            # Arbitration key: per directed link (multi-port) or per
-            # node (single-port, at most one send per node per step).
-            if self.ports == "multi":
-                link = node * 4 + direction
-            else:
-                link = node
-            remaining = np.abs(dr - r) + np.abs(dc - c)
-            # Winner per link = packet with max remaining distance
-            # (farthest-first), ties by lower packet index.
-            order = np.lexsort((act, -remaining, link))
-            sorted_link = link[order]
-            first = np.ones(sorted_link.size, dtype=bool)
-            first[1:] = sorted_link[1:] != sorted_link[:-1]
-            winners = act[order[first]]
-            wr = cur_row[winners]
-            wc = cur_col[winners]
-            wdc = dst_col[winners]
-            mc = wdc != wc
-            cur_col[winners] = np.where(mc, wc + np.sign(wdc - wc), wc)
-            cur_row[winners] = np.where(
-                mc, wr, wr + np.sign(dst_row[winners] - wr)
-            )
-            np.add.at(node_traffic, cur_row[winners] * side + cur_col[winners], 1)
-            total_hops += winners.size
-            steps += 1
-            active[winners] = (cur_row[winners] != dst_row[winners]) | (
-                cur_col[winners] != dst_col[winners]
-            )
-            if steps % 8 == 0 or not np.any(active):
-                occupancy = np.bincount(
-                    cur_row * side + cur_col, minlength=mesh.n
-                ).max()
-                max_queue = max(max_queue, int(occupancy))
-        return RouteResult(steps, total_hops, max_queue, node_traffic)
+    def route_many(self, batches, *, max_steps=None) -> list[RouteResult]:
+        """Advance several *independent* batches in one stepping loop.
+
+        Each batch is routed exactly as a separate :meth:`route` call
+        would route it (batches share no links, arbitration is per
+        batch), but the stepping overhead is paid once — callers with
+        several data-independent routing problems (the access protocol's
+        forward/return legs, the experiment sweeps) amortize the loop.
+
+        Parameters
+        ----------
+        batches : sequence of PacketBatch
+        max_steps : int, sequence of int, or None
+            Per-batch livelock guard; ``None`` applies the default
+            formula to each batch.
+
+        Returns
+        -------
+        list[RouteResult] aligned with ``batches``.
+        """
+        results = self._core.run(
+            [(b.src, b.dst) for b in batches], max_steps=max_steps
+        )
+        return [
+            RouteResult(r.steps, r.total_hops, r.max_queue, r.node_traffic)
+            for r in results
+        ]

@@ -9,7 +9,7 @@ tens of thousands of packets per step with pure NumPy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,11 +26,14 @@ class PacketBatch:
         Node ids (row-major linear indices) of origin and destination.
     tag : np.ndarray
         Caller-defined int64 payload reference, carried untouched.
+        Omitting it assigns each packet its own index; after
+        ``__post_init__`` the field is always a 1-D int64 ndarray
+        aligned with ``src``/``dst`` — never ``None``.
     """
 
     src: np.ndarray
     dst: np.ndarray
-    tag: np.ndarray = field(default=None)  # type: ignore[assignment]
+    tag: np.ndarray | None = None
 
     def __post_init__(self):
         self.src = np.asarray(self.src, dtype=np.int64)

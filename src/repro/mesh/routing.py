@@ -47,9 +47,9 @@ class StagedRouteResult:
     final_positions: np.ndarray
 
 
-def route_direct(mesh: Mesh, batch: PacketBatch) -> RouteResult:
+def route_direct(mesh: Mesh, batch: PacketBatch, *, ports: str = "multi") -> RouteResult:
     """One-shot greedy ``(l1, l2)``-routing (the Theorem 2 baseline)."""
-    return SynchronousEngine(mesh).route(batch)
+    return SynchronousEngine(mesh, ports=ports).route(batch)
 
 
 def _rank_within_groups(group_ids: np.ndarray) -> np.ndarray:
@@ -61,6 +61,8 @@ def route_via_submeshes(
     mesh: Mesh,
     batch: PacketBatch,
     tessellation: Tessellation,
+    *,
+    ports: str = "multi",
 ) -> StagedRouteResult:
     """Section 2's ``(l1, l2, delta, m)``-routing algorithm, steps 1-4.
 
@@ -75,7 +77,7 @@ def route_via_submeshes(
     phase 2's data movement is order-equivalent to shearsort, so its cost
     is the measured shearsort step count for this mesh side.
     """
-    engine = SynchronousEngine(mesh)
+    engine = SynchronousEngine(mesh, ports=ports)
     if len(batch) == 0:
         return StagedRouteResult(0, 0, 0, 0, 0, np.zeros(0, dtype=np.int64))
     dst_ranks = mesh.rank_of(batch.dst)
@@ -89,8 +91,15 @@ def route_via_submeshes(
 
     sort_cost = shearsort_steps(mesh.side) * max(batch.max_per_source(), 1)
 
-    spread = engine.route(PacketBatch(batch.src, proxy_node, batch.tag))
-    deliver = engine.route(PacketBatch(proxy_node, batch.dst, batch.tag))
+    # Both legs are fully determined up front (the deliver leg starts at
+    # the proxy nodes, not at wherever the spread leg's packets "are"),
+    # so one route_many call advances them in a single stepping loop.
+    spread, deliver = engine.route_many(
+        [
+            PacketBatch(batch.src, proxy_node, batch.tag),
+            PacketBatch(proxy_node, batch.dst, batch.tag),
+        ]
+    )
     total = sort_cost + spread.steps + deliver.steps
     return StagedRouteResult(
         steps=total,

@@ -56,9 +56,10 @@ def shearsort(mesh: Mesh, values: np.ndarray) -> tuple[np.ndarray, int]:
     the exact odd-even transposition cost of that schedule.
     """
     side = mesh.side
-    vals = np.asarray(values).reshape(side, side).copy()
+    vals = np.asarray(values)
     if vals.size != mesh.n:
         raise ValueError(f"need exactly {mesh.n} values")
+    vals = vals.reshape(side, side).copy()
     phases = ceil_log(side, 2) + 1
     steps = 0
     for phase in range(phases):

@@ -221,7 +221,7 @@ class AccessProtocol:
         k = params.k
         n = params.n
         positions = [origins]
-        stages: list[StageMetrics] = []
+        stage_info: list[tuple[int, int, int, int, float]] = []
         cur = origins
         for stage in range(k + 1, 0, -1):
             if stage == 1:
@@ -245,19 +245,30 @@ class AccessProtocol:
                 )
             delta_in = _max_per_node(cur, n)
             delta_out = _max_per_node(targets, n)
-            route_steps = self._route(cur, targets, delta_in, delta_out, t_nodes)
-            stages.append(
-                StageMetrics(
-                    stage=stage,
-                    t_nodes=t_nodes,
-                    delta_in=delta_in,
-                    delta_out=delta_out,
-                    sort_steps=sort_charge,
-                    route_steps=route_steps,
-                )
-            )
+            stage_info.append((stage, t_nodes, delta_in, delta_out, sort_charge))
             positions.append(targets)
             cur = targets
+
+        # Every stage's targets are fixed by the placement (they never
+        # depend on where earlier routing put the packets), so all
+        # forward legs — and the return legs, which retrace them — are
+        # data-independent routing problems.  The cycle engine advances
+        # them in ONE route_many stepping loop; the model engine charges
+        # each leg in closed form.
+        forward_steps, return_steps = self._route_legs(positions, stage_info)
+        stages = [
+            StageMetrics(
+                stage=stage,
+                t_nodes=t_nodes,
+                delta_in=delta_in,
+                delta_out=delta_out,
+                sort_steps=sort_charge,
+                route_steps=forward_steps[i],
+            )
+            for i, (stage, t_nodes, delta_in, delta_out, sort_charge) in enumerate(
+                stage_info
+            )
+        ]
 
         # Memory access at the copies.  Read phase precedes write phase
         # (the PRAM read-compute-write convention).
@@ -274,22 +285,6 @@ class AccessProtocol:
             scheme.memory.write(
                 pkt_vars[w_rows], pkt_paths[w_rows], values[rows][w_rows], timestamp
             )
-
-        # Return journey: retrace the recorded path in reverse.  A reversed
-        # routing schedule takes exactly as many steps as the forward one,
-        # which is why the paper notes the origin->destination part
-        # dominates; the model engine charges the mirror cost, the cycle
-        # engine measures the actual reversed batches.
-        return_steps = 0.0
-        if self.engine == "model":
-            return_steps = float(sum(s.route_steps for s in stages))
-        else:
-            for leg in range(len(positions) - 1, 0, -1):
-                src, dst = positions[leg], positions[leg - 1]
-                delta_in = _max_per_node(src, n)
-                delta_out = _max_per_node(dst, n)
-                t_nodes = stages[leg - 1].t_nodes
-                return_steps += self._route(src, dst, delta_in, delta_out, t_nodes)
 
         return AccessResult(
             op=op,
@@ -321,3 +316,45 @@ class AccessProtocol:
         if self.engine == "cycle":
             return float(self._sync.route(PacketBatch(src, dst)).steps)
         return self.cost_model.route_steps(delta_in, delta_out, t_nodes)
+
+    def _route_legs(self, positions, stage_info):
+        """Step costs of the forward legs (aligned with ``stage_info``)
+        plus the total return journey.
+
+        A reversed routing schedule takes exactly as many steps as the
+        forward one, which is why the paper notes the
+        origin->destination part dominates; the model engine charges the
+        mirror cost, the cycle engine measures the actual reversed
+        batches — all legs batched through one ``route_many`` call.
+        """
+        if self.engine == "model":
+            forward = [
+                self._route(
+                    positions[i], positions[i + 1], delta_in, delta_out, t_nodes
+                )
+                for i, (_, t_nodes, delta_in, delta_out, _) in enumerate(stage_info)
+            ]
+            return forward, float(sum(forward))
+        nstages = len(stage_info)
+        forward = [0.0] * nstages
+        return_steps = 0.0
+        slots: list[tuple[str, int]] = []
+        batches: list[PacketBatch] = []
+        for i in range(nstages):
+            src, dst = positions[i], positions[i + 1]
+            if src.size and not np.array_equal(src, dst):
+                slots.append(("fwd", i))
+                batches.append(PacketBatch(src, dst))
+        for leg in range(len(positions) - 1, 0, -1):
+            src, dst = positions[leg], positions[leg - 1]
+            if src.size and not np.array_equal(src, dst):
+                slots.append(("ret", leg))
+                batches.append(PacketBatch(src, dst))
+        if batches:
+            results = self._sync.route_many(batches)
+            for (kind, i), res in zip(slots, results):
+                if kind == "fwd":
+                    forward[i] = float(res.steps)
+                else:
+                    return_steps += float(res.steps)
+        return forward, return_steps

@@ -28,6 +28,37 @@ class TestPacketBatch:
         batch = PacketBatch(np.array([0, 1]), np.array([2, 3]))
         np.testing.assert_array_equal(batch.tag, [0, 1])
 
+    def test_tag_is_always_ndarray(self):
+        """__post_init__ contract: tag is a real array after init, even
+        when the caller omitted it or passed a list."""
+        for batch in (
+            PacketBatch(np.array([0, 1]), np.array([2, 3])),
+            PacketBatch(np.array([0, 1]), np.array([2, 3]), [5, 6]),
+            PacketBatch(np.zeros(0), np.zeros(0)),
+        ):
+            assert isinstance(batch.tag, np.ndarray)
+            assert batch.tag.dtype == np.int64
+            assert batch.tag.shape == batch.src.shape
+
+    def test_empty_batch_round_trips(self):
+        empty = PacketBatch(np.zeros(0), np.zeros(0))
+        rev = empty.reversed()
+        assert len(rev) == 0 and isinstance(rev.tag, np.ndarray)
+        res = SynchronousEngine(Mesh(4)).route(rev)
+        assert res.steps == 0 and res.max_queue == 0
+        assert isinstance(res.node_traffic, np.ndarray)
+        assert res.node_traffic.shape == (16,) and res.node_traffic.sum() == 0
+
+    def test_reversed_preserves_tags(self):
+        batch = PacketBatch(np.array([0, 1]), np.array([2, 3]), np.array([9, 8]))
+        rev = batch.reversed()
+        np.testing.assert_array_equal(rev.tag, [9, 8])
+        # Round trip restores the original batch.
+        back = rev.reversed()
+        np.testing.assert_array_equal(back.src, batch.src)
+        np.testing.assert_array_equal(back.dst, batch.dst)
+        np.testing.assert_array_equal(back.tag, batch.tag)
+
     def test_l1_l2(self):
         batch = PacketBatch(np.array([0, 0, 1]), np.array([2, 2, 2]))
         assert batch.max_per_source() == 2
@@ -91,6 +122,44 @@ class TestEngine:
                 PacketBatch(np.array([0]), np.array([15])), max_steps=2
             )
 
+    def test_max_queue_counts_in_transit_peak_every_step(self):
+        """Regression for the queue-occupancy accounting bug.
+
+        Four packets from row 3 (columns 2, 3, 5, 6) all target node
+        (7, 4).  The two inner packets reach (3, 4) after one step and
+        contend for the south link; at the start of step 2 the loser is
+        joined by both outer packets — a true in-transit peak of THREE
+        at (3, 4), on a step that is not a multiple of 8.
+
+        The seed engine reported 4: it sampled occupancy only on steps
+        divisible by 8 (plus the final step), where the in-flight peak
+        had already drained, and its bincount included the packets
+        already parked at the shared destination (7, 4).
+        """
+        mesh = Mesh(8)
+        src = mesh.node_id(np.array([3, 3, 3, 3]), np.array([2, 3, 5, 6]))
+        dst = np.full(4, int(mesh.node_id(7, 4)))
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        assert res.max_queue == 3
+
+    def test_max_queue_ignores_packets_parked_at_destination(self):
+        """A packet whose src == dst never occupies a queue slot."""
+        mesh = Mesh(8)
+        # One mover plus three packets already home at the mover's dst.
+        src = np.array([0, 9, 9, 9], dtype=np.int64)
+        dst = np.array([9, 9, 9, 9], dtype=np.int64)
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        assert res.max_queue == 1
+
+    def test_max_queue_counts_initial_placement(self):
+        """Several undelivered packets stacked on one source node are
+        queue pressure from step 0."""
+        mesh = Mesh(8)
+        src = np.zeros(5, dtype=np.int64)
+        dst = np.arange(1, 6, dtype=np.int64)
+        res = SynchronousEngine(mesh).route(PacketBatch(src, dst))
+        assert res.max_queue == 5
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(0, 2**32 - 1), st.integers(1, 60))
     def test_random_batches_always_deliver(self, seed, count):
@@ -127,6 +196,14 @@ class TestShearsort:
     def test_wrong_size_rejected(self):
         with pytest.raises(ValueError):
             shearsort(Mesh(4), np.arange(5))
+
+    def test_wrong_size_message(self):
+        """The intended validation fires (it used to be shadowed by the
+        reshape raising first, making the error message unreachable)."""
+        with pytest.raises(ValueError, match="need exactly 16 values"):
+            shearsort(Mesh(4), np.arange(5))
+        with pytest.raises(ValueError, match="need exactly 16 values"):
+            shearsort(Mesh(4), np.arange(64))
 
 
 class TestRankWithinGroups:
