@@ -1,0 +1,141 @@
+"""Deterministic differential fuzzer with shrinking and repro artifacts.
+
+``run_fuzz(seed, cases)`` drives Hypothesis over
+:func:`repro.check.strategies.case_specs`, executing every generated
+case through the :class:`~repro.check.oracle.DifferentialOracle`.  The
+run is fully deterministic for a given ``(seed, cases)`` pair (explicit
+``@seed``, no example database), so CI failures reproduce locally.
+
+On the first divergence Hypothesis shrinks the case — fewer steps, fewer
+requests, smaller parameters — and the *minimized* failing case is
+serialized as a JSON artifact under ``tests/data/repros/`` (see
+:mod:`repro.check.case` for the format).  ``replay`` re-executes an
+artifact, which is how a written-down failure becomes a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.check.case import CaseSpec, load_artifact, save_artifact
+from repro.check.oracle import OracleReport, run_case
+
+__all__ = ["DEFAULT_ARTIFACT_DIR", "FuzzReport", "replay", "run_fuzz"]
+
+DEFAULT_ARTIFACT_DIR = Path("tests") / "data" / "repros"
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    ok: bool
+    seed: int
+    requested_cases: int
+    executed: int  # oracle executions incl. shrink attempts
+    error: str | None = None
+    case: CaseSpec | None = None  # minimized failing case
+    artifact: Path | None = None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"fuzz ok: {self.requested_cases} cases (seed {self.seed}), "
+                f"zero divergences between cycle engine, cost model, and "
+                f"PRAM oracle"
+            )
+        return (
+            f"fuzz FAILED (seed {self.seed}, after {self.executed} "
+            f"executions): {self.error}\n"
+            f"minimized case: {self.case.describe() if self.case else '?'}\n"
+            f"repro artifact: {self.artifact}"
+        )
+
+
+def run_fuzz(
+    seed: int = 0,
+    cases: int = 50,
+    *,
+    artifact_dir: str | Path = DEFAULT_ARTIFACT_DIR,
+    corrupt_read=None,
+) -> FuzzReport:
+    """Fuzz the protocol stack against the PRAM oracle.
+
+    Parameters
+    ----------
+    seed : int
+        Derandomization seed; same seed, same campaign.
+    cases : int
+        Number of generated cases (shrink attempts come on top).
+    artifact_dir : path
+        Where a minimized failing case is written.
+    corrupt_read : callable, optional
+        Harness self-test hook, forwarded to the oracle.
+
+    Returns
+    -------
+    FuzzReport
+        ``ok=True`` and the case count on success; on divergence,
+        ``ok=False`` with the minimized case and its artifact path.
+    """
+    from hypothesis import HealthCheck, given
+    from hypothesis import seed as hypothesis_seed
+    from hypothesis import settings
+
+    from repro.check.strategies import case_specs
+
+    executed = [0]
+    failing: dict[str, CaseSpec] = {}
+
+    @settings(
+        max_examples=cases,
+        database=None,
+        derandomize=False,
+        deadline=None,
+        print_blob=False,
+        suppress_health_check=list(HealthCheck),
+    )
+    @hypothesis_seed(seed)
+    @given(case=case_specs())
+    def campaign(case: CaseSpec) -> None:
+        executed[0] += 1
+        try:
+            run_case(case, corrupt_read=corrupt_read)
+        except Exception:
+            # Hypothesis replays the minimal example last, so after
+            # shrinking this holds the minimized failing case.
+            failing["case"] = case
+            raise
+
+    try:
+        campaign()
+    except Exception as exc:
+        case = failing.get("case")
+        artifact = None
+        if case is not None:
+            artifact = save_artifact(
+                case, artifact_dir, seed=seed, error=str(exc)
+            )
+        return FuzzReport(
+            ok=False,
+            seed=seed,
+            requested_cases=cases,
+            executed=executed[0],
+            error=str(exc),
+            case=case,
+            artifact=artifact,
+        )
+    return FuzzReport(
+        ok=True, seed=seed, requested_cases=cases, executed=executed[0]
+    )
+
+
+def replay(path: str | Path, *, corrupt_read=None) -> OracleReport:
+    """Re-execute a repro artifact through the oracle.
+
+    Raises :class:`~repro.check.oracle.DivergenceError` if the recorded
+    failure still reproduces; returns the report once it is fixed.
+    """
+    case, _meta = load_artifact(path)
+    return run_case(case, corrupt_read=corrupt_read)

@@ -1,0 +1,334 @@
+"""Differential oracle: protocol stack vs ideal PRAM semantics.
+
+Runs one :class:`~repro.check.case.CaseSpec` through three executions of
+the same request stream and cross-checks them after every step:
+
+* the access protocol with ``engine="cycle"`` (packet movement simulated
+  synchronously),
+* the access protocol with ``engine="model"`` (Theorem 2 closed-form
+  charging) on an independent HMOS instance with identical parameters,
+* a plain NumPy shared-memory image — the ideal PRAM of Definition 2.
+
+Checked per step:
+
+* **value exactness** — every read/mixed result from both engines equals
+  the ideal PRAM value (reads see the newest earlier write, mixed steps
+  see pre-step values: the read-compute-write convention);
+* **cross-engine agreement** — both engines deliver the *same packets*:
+  identical CULLING target sets, iteration diagnostics (including the
+  measured page congestion) and charged steps, and identical stage
+  metrics ``(stage, t_nodes, delta_in, delta_out)``;
+* **stage-metrics invariants** — exactly ``k + 1`` stages numbered
+  ``k+1 .. 1``; operating submesh sizes ``t_i`` non-increasing along the
+  forward journey (the Eqs. 5-7 regime: every stage operates on a
+  smaller tessellation); per-node loads chain (``delta_in`` of stage
+  ``i`` equals ``delta_out`` of stage ``i+1``); the first ``delta_in``
+  equals the largest per-variable target set (nothing is dropped or
+  duplicated before routing);
+* **Theorem 3 congestion cap** — post-CULLING page loads within
+  ``4 q^k n^{1 - 1/2^i}`` at every level (fault-free cases only; the
+  bound degrades gracefully under faults, see DESIGN.md);
+* **model-engine mirror** — the model engine's return journey is charged
+  exactly the forward total (the paper's reversed-schedule argument).
+
+Fault handling: when a case injects node failures, a step whose request
+set contains an unrecoverable variable must raise ``RuntimeError`` from
+*both* engines — one engine failing while the other succeeds is itself a
+divergence.  Consistently-refused steps are recorded as skipped.
+
+The ``corrupt_read`` hook exists so the harness can be tested against
+itself: it mutates the cycle engine's returned values before comparison,
+standing in for a value-corrupting bug anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.check.case import CaseSpec, StepSpec
+from repro.culling.audit import audit_theorem3
+from repro.hmos.faults import FaultInjector
+from repro.hmos.scheme import HMOS
+from repro.protocol.access import AccessProtocol, AccessResult
+
+__all__ = [
+    "DifferentialOracle",
+    "DivergenceError",
+    "OracleReport",
+    "StepOutcome",
+    "run_case",
+]
+
+
+class DivergenceError(AssertionError):
+    """The protocol stack disagreed with the PRAM oracle (or itself)."""
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Verdict for one executed step."""
+
+    index: int
+    op: str
+    n_requests: int
+    skipped: bool  # True when both engines refused (unrecoverable vars)
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Successful run summary (a failed run raises instead)."""
+
+    case: CaseSpec
+    outcomes: tuple[StepOutcome, ...]
+
+    @property
+    def steps_checked(self) -> int:
+        return sum(1 for o in self.outcomes if not o.skipped)
+
+    @property
+    def steps_skipped(self) -> int:
+        return sum(1 for o in self.outcomes if o.skipped)
+
+
+class DifferentialOracle:
+    """Executes a case through both engines plus the PRAM reference.
+
+    Parameters
+    ----------
+    case : CaseSpec
+        The scenario to verify.
+    corrupt_read : callable, optional
+        Testing hook: applied to the cycle engine's returned values
+        before comparison (simulates a value-corrupting stack bug).
+    """
+
+    def __init__(
+        self,
+        case: CaseSpec,
+        *,
+        corrupt_read: Callable[[np.ndarray], np.ndarray] | None = None,
+    ):
+        self.case = case
+        self.corrupt_read = corrupt_read
+        self._cycle_scheme = HMOS(
+            n=case.n, alpha=case.alpha, q=case.q, k=case.k, curve=case.curve
+        )
+        self._model_scheme = HMOS(
+            n=case.n, alpha=case.alpha, q=case.q, k=case.k, curve=case.curve
+        )
+        cycle_faults = model_faults = None
+        if case.failed_nodes:
+            cycle_faults = FaultInjector(self._cycle_scheme)
+            cycle_faults.fail_nodes(np.asarray(case.failed_nodes, dtype=np.int64))
+            model_faults = FaultInjector(self._model_scheme)
+            model_faults.fail_nodes(np.asarray(case.failed_nodes, dtype=np.int64))
+        self._cycle = AccessProtocol(
+            self._cycle_scheme, engine="cycle", faults=cycle_faults
+        )
+        self._model = AccessProtocol(
+            self._model_scheme, engine="model", faults=model_faults
+        )
+        self._reference = np.zeros(self._cycle_scheme.num_variables, dtype=np.int64)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> OracleReport:
+        """Execute every step; raises :class:`DivergenceError` on mismatch."""
+        outcomes = []
+        for index, step in enumerate(self.case.steps):
+            outcomes.append(self._run_step(index, step))
+        return OracleReport(case=self.case, outcomes=tuple(outcomes))
+
+    def _run_step(self, index: int, step: StepSpec) -> StepOutcome:
+        variables = np.asarray(step.variables, dtype=np.int64)
+        num_vars = self._cycle_scheme.num_variables
+        if variables.size and np.any((variables < 0) | (variables >= num_vars)):
+            raise ValueError(
+                f"step {index}: variable id out of range [0, {num_vars})"
+            )
+        timestamp = index + 1
+        cycle_res, cycle_err = self._attempt(self._cycle, step, timestamp)
+        model_res, model_err = self._attempt(self._model, step, timestamp)
+        if (cycle_err is None) != (model_err is None):
+            raising = "cycle" if cycle_err else "model"
+            self._fail(
+                index,
+                step,
+                f"only the {raising} engine refused the step "
+                f"({cycle_err or model_err})",
+            )
+        if cycle_err is not None:
+            # Both engines consistently refused (unrecoverable variables
+            # under the injected faults): nothing was delivered, nothing
+            # changes in the reference either.
+            return StepOutcome(
+                index=index, op=step.op, n_requests=variables.size, skipped=True
+            )
+
+        self._check_values(index, step, variables, cycle_res, model_res)
+        self._check_cross_engine(index, step, cycle_res, model_res)
+        for engine, res in (("cycle", cycle_res), ("model", model_res)):
+            self._check_stage_invariants(index, step, engine, res)
+        if not self.case.failed_nodes:
+            try:
+                audit_theorem3(
+                    self._cycle_scheme, variables, cycle_res.culling.selected
+                )
+            except AssertionError as exc:
+                self._fail(index, step, f"Theorem 3 congestion cap: {exc}")
+
+        # Advance the ideal PRAM image.
+        if step.op == "write":
+            self._reference[variables] = np.asarray(step.values, dtype=np.int64)
+        elif step.op == "mixed":
+            is_write = np.asarray(step.is_write, dtype=bool)
+            self._reference[variables[is_write]] = np.asarray(
+                step.values, dtype=np.int64
+            )[is_write]
+        return StepOutcome(
+            index=index, op=step.op, n_requests=variables.size, skipped=False
+        )
+
+    @staticmethod
+    def _attempt(
+        protocol: AccessProtocol, step: StepSpec, timestamp: int
+    ) -> tuple[AccessResult | None, str | None]:
+        variables = np.asarray(step.variables, dtype=np.int64)
+        try:
+            if step.op == "read":
+                return protocol.read(variables), None
+            if step.op == "write":
+                values = np.asarray(step.values, dtype=np.int64)
+                return protocol.write(variables, values, timestamp=timestamp), None
+            values = np.asarray(step.values, dtype=np.int64)
+            is_write = np.asarray(step.is_write, dtype=bool)
+            return (
+                protocol.mixed(variables, is_write, values, timestamp=timestamp),
+                None,
+            )
+        except RuntimeError as exc:  # unrecoverable under faults
+            return None, str(exc)
+
+    # -- checks ------------------------------------------------------------
+
+    def _fail(self, index: int, step: StepSpec, detail: str):
+        raise DivergenceError(
+            f"step {index} ({step.op}, {len(step.variables)} requests, "
+            f"workload={step.workload}) on {self.case.describe()}: {detail}"
+        )
+
+    def _check_values(self, index, step, variables, cycle_res, model_res):
+        if step.op == "write":
+            return
+        expected = self._reference[variables]
+        cycle_vals = cycle_res.values
+        if self.corrupt_read is not None:
+            cycle_vals = self.corrupt_read(np.array(cycle_vals))
+        for engine, got in (("cycle", cycle_vals), ("model", model_res.values)):
+            if got is None or not np.array_equal(got, expected):
+                bad = (
+                    np.nonzero(got != expected)[0]
+                    if got is not None and got.shape == expected.shape
+                    else None
+                )
+                where = (
+                    f" first mismatch at request {bad[0]}: variable "
+                    f"{variables[bad[0]]} read {got[bad[0]]}, PRAM holds "
+                    f"{expected[bad[0]]}"
+                    if bad is not None and bad.size
+                    else ""
+                )
+                self._fail(
+                    index,
+                    step,
+                    f"{engine} engine values diverge from ideal PRAM{where}",
+                )
+
+    def _check_cross_engine(self, index, step, cycle_res, model_res):
+        c_cull, m_cull = cycle_res.culling, model_res.culling
+        if not np.array_equal(c_cull.selected, m_cull.selected):
+            self._fail(
+                index, step, "engines selected different copy sets (CULLING)"
+            )
+        if c_cull.iterations != m_cull.iterations:
+            self._fail(
+                index,
+                step,
+                "engines disagree on CULLING diagnostics (caps/congestion): "
+                f"{c_cull.iterations} vs {m_cull.iterations}",
+            )
+        if c_cull.charged_steps != m_cull.charged_steps:
+            self._fail(
+                index,
+                step,
+                f"CULLING charge differs: {c_cull.charged_steps} vs "
+                f"{m_cull.charged_steps}",
+            )
+        c_struct = [(s.stage, s.t_nodes, s.delta_in, s.delta_out) for s in cycle_res.stages]
+        m_struct = [(s.stage, s.t_nodes, s.delta_in, s.delta_out) for s in model_res.stages]
+        if c_struct != m_struct:
+            self._fail(
+                index,
+                step,
+                f"stage metrics differ between engines: {c_struct} vs {m_struct}",
+            )
+        forward_total = sum(s.route_steps for s in model_res.stages)
+        if model_res.return_steps != forward_total:
+            self._fail(
+                index,
+                step,
+                "model engine broke the reversed-schedule mirror: return "
+                f"{model_res.return_steps} != forward {forward_total}",
+            )
+
+    def _check_stage_invariants(self, index, step, engine, res: AccessResult):
+        params = self._cycle_scheme.params
+        stages = res.stages
+        expected_numbers = list(range(params.k + 1, 0, -1))
+        if [s.stage for s in stages] != expected_numbers:
+            self._fail(
+                index,
+                step,
+                f"{engine} engine stage numbering {[s.stage for s in stages]} "
+                f"!= {expected_numbers}",
+            )
+        t_nodes = [s.t_nodes for s in stages]
+        if any(t_nodes[i] < t_nodes[i + 1] for i in range(len(t_nodes) - 1)):
+            self._fail(
+                index,
+                step,
+                f"{engine} engine submesh sizes not non-increasing: {t_nodes}",
+            )
+        for i in range(len(stages) - 1):
+            if stages[i + 1].delta_in != stages[i].delta_out:
+                self._fail(
+                    index,
+                    step,
+                    f"{engine} engine per-node loads do not chain at stage "
+                    f"{stages[i + 1].stage}: delta_in {stages[i + 1].delta_in} "
+                    f"!= previous delta_out {stages[i].delta_out}",
+                )
+        max_target = int(res.culling.selected.sum(axis=1).max(initial=0))
+        if stages and stages[0].delta_in != max_target:
+            self._fail(
+                index,
+                step,
+                f"{engine} engine injected load {stages[0].delta_in} != largest "
+                f"target set {max_target} (packets dropped or duplicated)",
+            )
+        if any(s.sort_steps < 0 or s.route_steps < 0 for s in stages) or (
+            res.return_steps < 0
+        ):
+            self._fail(index, step, f"{engine} engine charged negative steps")
+
+
+def run_case(
+    case: CaseSpec,
+    *,
+    corrupt_read: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> OracleReport:
+    """Convenience wrapper: build the oracle and run the case."""
+    return DifferentialOracle(case, corrupt_read=corrupt_read).run()

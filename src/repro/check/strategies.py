@@ -1,0 +1,169 @@
+"""Hypothesis strategies over the protocol stack's real parameter space.
+
+The fuzzer explores the cross product the theorems quantify over: mesh
+size ``n``, memory exponent ``alpha``, replication ``q``, hierarchy
+depth ``k``, tessellation curve, injected node faults, and per-step
+request sets drawn from the uniform generator or the adversarial
+generators of :mod:`repro.hmos.adversary` (module-collision and
+majority-collision attacks), mixed with read/write/mixed operations.
+
+Everything drawn is materialized into a plain :class:`CaseSpec`, so
+shrinking operates on explicit variable lists and failures serialize to
+self-contained JSON artifacts.
+
+This module imports :mod:`hypothesis` and must only be imported by the
+fuzzer / property tests (the core package works without the extra).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.check.case import CaseSpec, StepSpec
+from repro.hmos.adversary import (
+    majority_collision_requests,
+    module_collision_requests,
+)
+from repro.hmos.params import HMOSParams
+from repro.hmos.scheme import HMOS
+
+__all__ = ["case_specs", "feasible_configs", "step_specs"]
+
+#: Bounds keeping one fuzz case under ~100 ms: small meshes, capped
+#: memory (the invariants are size-uniform; the theorems' asymptotics
+#: are covered by the E4/E8 benchmarks instead).
+_N_CHOICES = (16, 64)
+_ALPHA_CHOICES = (1.1, 1.25, 1.5, 2.0)
+_Q_CHOICES = (3, 4, 5)
+_K_CHOICES = (1, 2, 3)
+_MAX_VARIABLES = 20_000
+_MAX_STEPS = 4
+_MAX_FAULTS = 3
+_CURVES = ("morton", "hilbert")
+_WORKLOADS = ("uniform", "module", "majority")
+
+
+@lru_cache(maxsize=1)
+def feasible_configs() -> tuple[tuple[int, float, int, int], ...]:
+    """All ``(n, alpha, q, k)`` combinations the HMOS can instantiate
+    within the fuzz budget, smallest first (Hypothesis shrinks toward
+    the front of the list)."""
+    out = []
+    for n in _N_CHOICES:
+        for alpha in _ALPHA_CHOICES:
+            for q in _Q_CHOICES:
+                for k in _K_CHOICES:
+                    try:
+                        params = HMOSParams(n=n, alpha=alpha, q=q, k=k)
+                    except ValueError:
+                        continue
+                    if params.num_variables <= _MAX_VARIABLES:
+                        out.append((n, alpha, q, k))
+    out.sort(key=lambda cfg: (cfg[0], HMOSParams(*cfg).num_variables, cfg[3]))
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def _scheme_for(n: int, alpha: float, q: int, k: int) -> HMOS:
+    """Read-only HMOS used to *materialize* adversarial request sets at
+    generation time (the oracle builds its own fresh instances)."""
+    return HMOS(n=n, alpha=alpha, q=q, k=k)
+
+
+@st.composite
+def step_specs(draw, n: int, alpha: float, q: int, k: int) -> StepSpec:
+    """One memory step against the given configuration."""
+    scheme = _scheme_for(n, alpha, q, k)
+    num_vars = scheme.num_variables
+    workload = draw(st.sampled_from(_WORKLOADS))
+    if workload == "uniform":
+        variables = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, num_vars - 1),
+                    min_size=1,
+                    max_size=n,
+                    unique=True,
+                )
+            )
+        )
+    else:
+        count = draw(st.integers(1, n))
+        if workload == "module":
+            graph = scheme.placement.graphs[0]
+            module = draw(st.integers(0, graph.num_outputs - 1))
+            picked = module_collision_requests(scheme, count, module=module)
+        else:
+            try:
+                picked = majority_collision_requests(scheme, count)
+            except ValueError:
+                # Pool too small to force majorities at this count; the
+                # single-module attack is the fallback concentration.
+                picked = module_collision_requests(scheme, count)
+        variables = tuple(int(v) for v in np.asarray(picked))
+    op = draw(st.sampled_from(("read", "write", "mixed")))
+    values = is_write = None
+    if op in ("write", "mixed"):
+        values = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, 10**6),
+                    min_size=len(variables),
+                    max_size=len(variables),
+                )
+            )
+        )
+    if op == "mixed":
+        is_write = tuple(
+            draw(
+                st.lists(
+                    st.booleans(),
+                    min_size=len(variables),
+                    max_size=len(variables),
+                )
+            )
+        )
+    return StepSpec(
+        op=op,
+        variables=variables,
+        values=values,
+        is_write=is_write,
+        workload=workload,
+    )
+
+
+@st.composite
+def case_specs(draw) -> CaseSpec:
+    """A full differential-oracle scenario."""
+    n, alpha, q, k = draw(st.sampled_from(feasible_configs()))
+    curve = draw(st.sampled_from(_CURVES))
+    failed = tuple(
+        draw(
+            st.lists(
+                st.integers(0, n - 1),
+                max_size=_MAX_FAULTS,
+                unique=True,
+            )
+        )
+    )
+    steps = tuple(
+        draw(
+            st.lists(
+                step_specs(n, alpha, q, k),
+                min_size=1,
+                max_size=_MAX_STEPS,
+            )
+        )
+    )
+    return CaseSpec(
+        n=n,
+        alpha=alpha,
+        q=q,
+        k=k,
+        curve=curve,
+        failed_nodes=failed,
+        steps=steps,
+    )

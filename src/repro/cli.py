@@ -8,6 +8,8 @@ Commands
 ``scaling``  sweep n and report measured scaling exponents
 ``run``      assemble and execute a PRAM assembly program on the mesh
 ``experiments``  list or execute the E1..E17 reproduction suite
+``check``    differential verification: fuzz the stack against the PRAM
+             oracle, or replay a recorded divergence artifact
 """
 
 from __future__ import annotations
@@ -146,6 +148,36 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    if args.check_command == "fuzz":
+        try:
+            from repro.check.fuzz import run_fuzz
+        except ImportError:
+            print(
+                "repro check fuzz requires the 'hypothesis' package "
+                "(pip install 'repro[test]')",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_fuzz(seed=args.seed, cases=args.cases, artifact_dir=args.dir)
+        print(report.summary())
+        return 0 if report.ok else 1
+    # replay
+    from repro.check.fuzz import replay
+    from repro.check.oracle import DivergenceError
+
+    try:
+        report = replay(args.artifact)
+    except DivergenceError as exc:
+        print(f"divergence still reproduces: {exc}")
+        return 1
+    print(
+        f"artifact passes: {report.steps_checked} steps checked, "
+        f"{report.steps_skipped} skipped ({report.case.describe()})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -186,6 +218,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run", nargs="*", metavar="EID",
                    help="experiment ids to execute (default: list only)")
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser(
+        "check", help="differential verification against the PRAM oracle"
+    )
+    check_sub = p.add_subparsers(dest="check_command", required=True)
+    pf = check_sub.add_parser(
+        "fuzz", help="fuzz cycle engine + cost model vs the PRAM oracle"
+    )
+    pf.add_argument("--seed", type=int, default=0, help="derandomization seed")
+    pf.add_argument("--cases", type=int, default=50, help="generated cases")
+    pf.add_argument(
+        "--dir",
+        default="tests/data/repros",
+        help="directory for minimized JSON repro artifacts",
+    )
+    pf.set_defaults(fn=_cmd_check)
+    pr = check_sub.add_parser("replay", help="re-execute a repro artifact")
+    pr.add_argument("artifact", help="path to a divergence_*.json artifact")
+    pr.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("run", help="run a PRAM assembly program on the mesh")
     p.add_argument("file", help="assembly file, or - for stdin")

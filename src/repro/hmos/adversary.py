@@ -25,28 +25,42 @@ def module_collision_requests(
 
     Starts from the lines through ``module`` (the BIBD point's full
     degree) and, if more are needed, continues with modules
-    ``module + 1, ...`` — the attack stays maximally concentrated.
+    ``module + 1, ...``, wrapping around past the last module id — the
+    attack stays maximally concentrated regardless of the starting
+    module.  Raises ``ValueError`` only when every module has been
+    visited and fewer than ``count`` distinct variables exist (which the
+    ``count <= n < n^alpha`` precondition makes unreachable through the
+    public parameter space, but the exhaustion boundary is guarded and
+    tested all the same).
     """
     if count < 1:
         raise ValueError("count must be positive")
     if count > scheme.params.n:
         raise ValueError("a PRAM step has at most n requests")
     graph = scheme.placement.graphs[0]
+    if not 0 <= module < graph.num_outputs:
+        raise ValueError(
+            f"module must be in [0, {graph.num_outputs}), got {module}"
+        )
     picked: list[np.ndarray] = []
     total = 0
-    u = module
     seen: set[int] = set()
-    while total < count:
-        if u >= graph.num_outputs:
-            raise ValueError("not enough variables to build the request set")
-        vars_u = graph.adjacent_inputs(u % graph.num_outputs)
+    for offset in range(graph.num_outputs):
+        if total >= count:
+            break
+        u = (module + offset) % graph.num_outputs
+        vars_u = graph.adjacent_inputs(u)
         fresh = np.array(
             [v for v in vars_u.tolist() if v not in seen], dtype=np.int64
         )
         seen.update(fresh.tolist())
         picked.append(fresh)
         total += fresh.size
-        u += 1
+    if total < count:
+        raise ValueError(
+            f"not enough variables to build the request set: the design "
+            f"has only {total} distinct variables, {count} requested"
+        )
     return np.concatenate(picked)[:count]
 
 

@@ -1,0 +1,20 @@
+"""Hypothesis profiles for the property suite.
+
+Three profiles, selected via ``HYPOTHESIS_PROFILE``:
+
+* ``dev`` (default) — a modest example budget so tier-1 stays fast;
+* ``ci`` — derandomized with a bounded budget: the fuzz-smoke CI job is
+  reproducible run-to-run and never flakes on a fresh random seed;
+* ``thorough`` — the overnight setting.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile(
+    "ci", max_examples=25, deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

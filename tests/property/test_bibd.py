@@ -1,0 +1,103 @@
+"""BIBD properties on random subsets: lambda = 1 and strong expansion.
+
+The memory map's congestion theorems reduce to two incidence facts —
+every output pair determines exactly one line, and fixed-edge
+neighborhoods expand exactly (Lemma 1).  Fuzzed here over random pairs,
+subset sizes, and expansion strengths rather than the fixed spot checks
+of the E1/E2 benchmarks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bibd.affine import AffineBIBD
+from repro.bibd.subgraph import BalancedSubgraph
+from repro.bibd.verify import verify_strong_expansion
+
+DESIGNS = [(3, 2), (3, 3), (4, 2), (5, 2)]
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return {qd: AffineBIBD(*qd) for qd in DESIGNS}
+
+
+class TestLambdaOne:
+    @given(
+        qd=st.sampled_from(DESIGNS),
+        a=st.integers(0, 10**6),
+        b=st.integers(0, 10**6),
+    )
+    def test_every_pair_shares_exactly_one_line(self, designs, qd, a, b):
+        design = designs[qd]
+        u1 = a % design.num_outputs
+        u2 = b % design.num_outputs
+        if u1 == u2:
+            return
+        line = design.line_through(np.int64(u1), np.int64(u2))
+        nbrs = design.neighbors(line)
+        assert u1 in nbrs and u2 in nbrs
+        # Exactly one: every *other* line through u1 misses u2.
+        through = design.adjacent_inputs(u1)
+        others = through[through != int(line)]
+        assert not (design.neighbors(others) == u2).any()
+
+
+class TestStrongExpansion:
+    @given(
+        qd=st.sampled_from(DESIGNS),
+        out=st.integers(0, 10**6),
+        size=st.integers(1, 10),
+        k=st.integers(2, 5),
+        seed=st.integers(0, 2**16),
+    )
+    def test_random_subsets_expand_exactly(self, designs, qd, out, size, k, seed):
+        """Lemma 1: |Gamma_k(S)| = (k-1)|S| + 1 for random line subsets
+        through a point, any feasible (size, k)."""
+        design = designs[qd]
+        q = design.q
+        if k > q:
+            return
+        output = out % design.num_outputs
+        degree = design.adjacent_inputs(output).size
+        subset = min(size, degree)
+        measured = verify_strong_expansion(
+            design, output, subset, k, seed=seed
+        )
+        assert measured == (k - 1) * subset + 1
+
+
+class TestBalancedSubgraph:
+    @given(qd=st.sampled_from(DESIGNS), m_raw=st.integers(1, 10**6))
+    def test_degrees_balanced_for_any_prefix(self, designs, qd, m_raw):
+        """Theorem 5 for *every* prefix size m, not just the HMOS ones:
+        all output degrees land in {floor, ceil}(qm / q^d) and sum to
+        exactly qm (each line has q endpoints)."""
+        q, d = qd
+        full = designs[qd].num_inputs
+        m = 1 + (m_raw % full)
+        sub = BalancedSubgraph(q, d, m)
+        degrees = sub.output_degree(
+            np.arange(sub.num_outputs, dtype=np.int64)
+        )
+        assert int(degrees.sum()) == q * m
+        assert degrees.min() >= sub.rho_min
+        assert degrees.max() <= sub.rho_max
+        assert sub.rho_max - sub.rho_min <= 1
+
+    @given(qd=st.sampled_from(DESIGNS), m_raw=st.integers(1, 10**6))
+    def test_adjacency_consistency_on_random_prefix(self, designs, qd, m_raw):
+        """Metamorphic cross-check: output_degree agrees with an actual
+        scan of the selected lines' neighbor lists."""
+        q, d = qd
+        full = designs[qd].num_inputs
+        m = 1 + (m_raw % full)
+        sub = BalancedSubgraph(q, d, m)
+        nbrs = sub.neighbors(np.arange(m, dtype=np.int64))
+        counted = np.bincount(nbrs.reshape(-1), minlength=sub.num_outputs)
+        assert np.array_equal(
+            counted,
+            sub.output_degree(np.arange(sub.num_outputs, dtype=np.int64)),
+        )

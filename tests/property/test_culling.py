@@ -1,0 +1,78 @@
+"""CULLING properties: target-set validity, determinism, idempotence.
+
+Every output of CULLING must be a minimal level-k target set per
+variable (Definition 2's access guarantee), the procedure must be a
+pure function of the request set, and re-running it on its own output
+must change nothing — the properties every refactor of the marking /
+extraction code has to preserve.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.culling import audit_theorem3, cull
+from repro.hmos import HMOS
+from repro.hmos.copytree import is_target_set, target_set_size
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return HMOS(n=64, alpha=1.5, q=3, k=2)
+
+
+@st.composite
+def request_sets(draw):
+    size = draw(st.integers(1, 64))
+    # num_variables = 1080 for the module fixture's configuration.
+    return np.array(
+        draw(
+            st.lists(
+                st.integers(0, 1079), min_size=size, max_size=size, unique=True
+            )
+        ),
+        dtype=np.int64,
+    )
+
+
+class TestCullingProperties:
+    @given(variables=request_sets())
+    def test_output_is_minimal_target_set(self, scheme, variables):
+        res = cull(scheme, variables)
+        q, k = scheme.params.q, scheme.params.k
+        assert is_target_set(res.selected, q, k).all()
+        assert (
+            res.selected.sum(axis=1) == target_set_size(q, k, level=k)
+        ).all()
+
+    @given(variables=request_sets())
+    def test_deterministic(self, scheme, variables):
+        a = cull(scheme, variables)
+        b = cull(scheme, variables)
+        assert np.array_equal(a.selected, b.selected)
+        assert a.iterations == b.iterations
+        assert a.charged_steps == b.charged_steps
+
+    @given(variables=request_sets())
+    def test_idempotent_under_permutation_of_requests(self, scheme, variables):
+        """Selection per variable is independent of request order up to
+        row alignment: culling is driven by (variable, page) structure,
+        not by the arbitrary processor numbering."""
+        perm = np.argsort(variables, kind="stable")
+        res_a = cull(scheme, variables)
+        res_b = cull(scheme, variables[perm])
+        assert np.array_equal(res_a.selected[perm], res_b.selected)
+
+    @given(variables=request_sets())
+    def test_congestion_cap(self, scheme, variables):
+        res = cull(scheme, variables)
+        loads = audit_theorem3(scheme, variables, res.selected)  # raises if broken
+        assert all(load.within_bound for load in loads)
+
+    @given(variables=request_sets())
+    def test_marking_caps_respected(self, scheme, variables):
+        res = cull(scheme, variables)
+        for it in res.iterations:
+            assert it.max_page_load <= scheme.params.theorem3_bound(it.level)
+            assert it.augmented_copies >= 0

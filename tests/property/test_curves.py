@@ -1,0 +1,101 @@
+"""Space-filling curve properties: bijectivity and locality.
+
+The placement layer assumes both curves are exact bijections between
+grid coordinates and curve ranks — an off-by-one here silently corrupts
+the memory map, so the round-trips are fuzzed rather than spot-checked.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.hilbert import hilbert_decode, hilbert_encode
+from repro.mesh.morton import morton_decode, morton_encode
+
+bits_st = st.integers(1, 8)
+
+
+@st.composite
+def coords(draw):
+    bits = draw(bits_st)
+    side = 1 << bits
+    size = draw(st.integers(1, 64))
+    row = draw(
+        st.lists(st.integers(0, side - 1), min_size=size, max_size=size)
+    )
+    col = draw(
+        st.lists(st.integers(0, side - 1), min_size=size, max_size=size)
+    )
+    return np.array(row, dtype=np.int64), np.array(col, dtype=np.int64), bits
+
+
+@st.composite
+def ranks(draw):
+    bits = draw(bits_st)
+    size = draw(st.integers(1, 64))
+    vals = draw(
+        st.lists(
+            st.integers(0, (1 << (2 * bits)) - 1), min_size=size, max_size=size
+        )
+    )
+    return np.array(vals, dtype=np.int64), bits
+
+
+class TestMorton:
+    @given(coords())
+    def test_encode_decode_roundtrip(self, rc):
+        row, col, bits = rc
+        r2, c2 = morton_decode(morton_encode(row, col, bits), bits)
+        assert np.array_equal(r2, row) and np.array_equal(c2, col)
+
+    @given(ranks())
+    def test_decode_encode_roundtrip(self, rb):
+        rank, bits = rb
+        row, col = morton_decode(rank, bits)
+        assert np.array_equal(morton_encode(row, col, bits), rank)
+
+    @given(st.integers(1, 6), st.integers(0, 5))
+    def test_aligned_range_is_square_submesh(self, bits, block):
+        """An aligned ``4^b`` Morton range is exactly a ``2^b x 2^b``
+        submesh — the property the HMOS tessellations are built on."""
+        sub_bits = max(0, bits - 2)
+        size = 1 << (2 * sub_bits)
+        block = block % (1 << (2 * (bits - sub_bits)))
+        rng = np.arange(block * size, (block + 1) * size, dtype=np.int64)
+        row, col = morton_decode(rng, bits)
+        assert row.max() - row.min() + 1 == 1 << sub_bits
+        assert col.max() - col.min() + 1 == 1 << sub_bits
+        assert np.unique(row * (1 << bits) + col).size == size
+
+
+class TestHilbert:
+    @given(coords())
+    def test_encode_decode_roundtrip(self, rc):
+        row, col, bits = rc
+        r2, c2 = hilbert_decode(hilbert_encode(row, col, bits), bits)
+        assert np.array_equal(r2, row) and np.array_equal(c2, col)
+
+    @given(ranks())
+    def test_decode_encode_roundtrip(self, rb):
+        rank, bits = rb
+        row, col = hilbert_decode(rank, bits)
+        assert np.array_equal(hilbert_encode(row, col, bits), rank)
+
+    @given(st.integers(1, 6))
+    def test_consecutive_ranks_are_grid_neighbors(self, bits):
+        """The defining locality property: the curve never jumps."""
+        d = np.arange(1 << (2 * bits), dtype=np.int64)
+        row, col = hilbert_decode(d, bits)
+        step = np.abs(np.diff(row)) + np.abs(np.diff(col))
+        assert (step == 1).all()
+
+    @given(coords())
+    def test_curves_agree_on_domain(self, rc):
+        """Both curves enumerate the same rank set (permutations of
+        ``[0, 4^bits)``), so either is a valid placement order."""
+        row, col, bits = rc
+        h = hilbert_encode(row, col, bits)
+        m = morton_encode(row, col, bits)
+        top = np.int64(1) << (2 * bits)
+        assert ((0 <= h) & (h < top)).all()
+        assert ((0 <= m) & (m < top)).all()

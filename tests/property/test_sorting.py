@@ -1,0 +1,82 @@
+"""Order-equivalence of the on-mesh sorters.
+
+Shearsort and merge-split k-k sort are *oblivious* schedules whose
+content outcome must equal a plain sort — the protocol charges their
+step formulas while computing contents the NumPy way, so any order
+divergence would silently decouple cost from data movement.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh
+from repro.mesh.ksort import kk_sort, kk_sort_steps
+from repro.mesh.sorting import shearsort, shearsort_steps, snake_order
+
+side_st = st.sampled_from([2, 4, 8])
+
+
+@st.composite
+def node_values(draw):
+    side = draw(side_st)
+    vals = draw(
+        st.lists(
+            st.integers(-(10**6), 10**6),
+            min_size=side * side,
+            max_size=side * side,
+        )
+    )
+    return side, np.array(vals, dtype=np.int64)
+
+
+@st.composite
+def node_buffers(draw):
+    side = draw(side_st)
+    l = draw(st.integers(1, 4))
+    vals = draw(
+        st.lists(
+            st.integers(-(10**6), 10**6),
+            min_size=side * side * l,
+            max_size=side * side * l,
+        )
+    )
+    return side, np.array(vals, dtype=np.int64).reshape(side * side, l)
+
+
+class TestShearsort:
+    @given(node_values())
+    def test_order_equivalence(self, sv):
+        side, vals = sv
+        mesh = Mesh(side)
+        out, steps = shearsort(mesh, vals)
+        assert np.array_equal(out[snake_order(side)], np.sort(vals))
+        assert steps == shearsort_steps(side)
+
+    @given(node_values())
+    def test_idempotent(self, sv):
+        side, vals = sv
+        mesh = Mesh(side)
+        once, _ = shearsort(mesh, vals)
+        twice, _ = shearsort(mesh, once)
+        assert np.array_equal(once, twice)
+
+
+class TestKKSort:
+    @given(node_buffers())
+    def test_global_order_equivalence(self, sb):
+        side, keys = sb
+        mesh = Mesh(side)
+        out, steps = kk_sort(mesh, keys)
+        assert np.array_equal(out.reshape(-1), np.sort(keys.reshape(-1)))
+        assert steps == kk_sort_steps(side, keys.shape[1])
+
+    @given(node_buffers())
+    def test_buffers_internally_sorted(self, sb):
+        side, keys = sb
+        out, _ = kk_sort(Mesh(side), keys)
+        assert (np.diff(out, axis=1) >= 0).all()
+
+    @given(side_st, st.integers(1, 6))
+    def test_step_formula_positive_and_linear_in_l(self, side, l):
+        assert kk_sort_steps(side, l) == l * kk_sort_steps(side, 1)

@@ -70,6 +70,39 @@ class TestCommands:
             main(["run", str(prog), "--n", "64"])
 
 
+class TestCheckCommand:
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["check", "fuzz"])
+        assert args.seed == 0 and args.cases == 50
+        assert args.dir.endswith("repros")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check"])
+
+    def test_fuzz_smoke(self, capsys, tmp_path):
+        assert main([
+            "check", "fuzz", "--seed", "3", "--cases", "2",
+            "--dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz ok: 2 cases" in out
+        assert "zero divergences" in out
+        assert not list(tmp_path.iterdir())  # clean run leaves no artifacts
+
+    def test_replay_clean_artifact(self, capsys, tmp_path):
+        from repro.check import CaseSpec, StepSpec, save_artifact
+
+        case = CaseSpec(
+            n=16, alpha=1.5, q=3, k=1,
+            steps=(StepSpec(op="read", variables=(0, 1)),),
+        )
+        path = save_artifact(case, tmp_path, seed=0, error="injected")
+        assert main(["check", "replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifact passes" in out
+
+
 class TestExperimentsCommand:
     def test_list(self, capsys):
         assert main(["experiments"]) == 0

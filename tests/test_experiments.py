@@ -1,0 +1,87 @@
+"""Tests for the experiment registry and runner (repro.experiments)."""
+
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments import EXPERIMENTS, list_table, run
+
+
+class TestRegistry:
+    def test_covers_e1_to_e17(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}
+
+    def test_entries_are_complete(self):
+        for eid, info in EXPERIMENTS.items():
+            assert info.eid == eid
+            assert info.claim and info.source
+            assert info.bench.startswith("test_e") and info.bench.endswith(".py")
+
+    def test_bench_files_exist(self):
+        bench_dir = experiments._benchmarks_dir()
+        for info in EXPERIMENTS.values():
+            assert (bench_dir / info.bench).exists(), info.bench
+
+
+class TestListTable:
+    def test_lists_every_experiment(self):
+        table = list_table()
+        for eid in EXPERIMENTS:
+            assert eid in table
+
+    def test_output_shape(self):
+        table = list_table()
+        lines = table.splitlines()
+        assert "Reproduction experiments" in lines[0]
+        header = next(line for line in lines if "paper locus" in line)
+        assert "id" in header and "claim" in header
+        # One row per experiment plus title/header/rule lines.
+        rows = [line for line in lines if line.lstrip().startswith("E")]
+        assert len(rows) == len(EXPERIMENTS)
+
+
+class TestRun:
+    def test_unknown_experiment_id(self):
+        with pytest.raises(KeyError, match="unknown experiment 'E99'"):
+            run(["E99"])
+
+    def test_unknown_id_lists_known_ones(self):
+        with pytest.raises(KeyError, match="E1"):
+            run(["nope"])
+
+    def test_missing_benchmarks_dir(self, monkeypatch, tmp_path):
+        fake = tmp_path / "pkg" / "experiments.py"
+        fake.parent.mkdir()
+        fake.write_text("")
+        monkeypatch.setattr(experiments, "__file__", str(fake))
+        with pytest.raises(FileNotFoundError, match="benchmarks/ directory"):
+            run(["E1"])
+
+    def test_invokes_pytest_on_selected_benchmarks(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            experiments.subprocess, "call", lambda cmd: calls.append(cmd) or 0
+        )
+        assert run(["e4", "E8"]) == 0  # lowercase ids are normalized
+        (cmd,) = calls
+        assert cmd[1:3] == ["-m", "pytest"]
+        assert any(arg.endswith("test_e04_culling_bound.py") for arg in cmd)
+        assert any(arg.endswith("test_e08_simulation_scaling.py") for arg in cmd)
+        assert "--benchmark-only" in cmd
+
+    def test_no_ids_targets_whole_suite(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            experiments.subprocess, "call", lambda cmd: calls.append(cmd) or 3
+        )
+        assert run() == 3  # exit code passes through
+        (cmd,) = calls
+        bench_dir = str(experiments._benchmarks_dir())
+        assert bench_dir in cmd
+
+    def test_extra_args_forwarded(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            experiments.subprocess, "call", lambda cmd: calls.append(cmd) or 0
+        )
+        run(["E1"], extra_args=["--collect-only"])
+        assert "--collect-only" in calls[0]

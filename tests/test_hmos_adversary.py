@@ -48,6 +48,41 @@ class TestModuleCollision:
         reqs = module_collision_requests(scheme, 10, module=5)
         assert (g.neighbors(reqs) == 5).any(axis=1).all()
 
+    def test_rejects_out_of_range_module(self, scheme):
+        g = scheme.placement.graphs[0]
+        with pytest.raises(ValueError, match="module must be in"):
+            module_collision_requests(scheme, 10, module=g.num_outputs)
+        with pytest.raises(ValueError, match="module must be in"):
+            module_collision_requests(scheme, 10, module=-1)
+
+    def test_wraps_around_from_last_module(self, scheme):
+        """Starting at the last module id must not exhaust: the spill
+        continues at module 0 (wraparound), so the full n-request set is
+        still constructible from any starting module."""
+        g = scheme.placement.graphs[0]
+        last = g.num_outputs - 1
+        degree = g.adjacent_inputs(last).size
+        count = min(scheme.params.n, degree + 5)
+        assert count > degree, "fixture too small to force a wrap"
+        reqs = module_collision_requests(scheme, count, module=last)
+        assert np.unique(reqs).size == count
+        # The overflow variables come from module 0, not module `last+1`.
+        overflow = reqs[degree:]
+        assert (g.neighbors(overflow) == 0).any(axis=1).all()
+
+    def test_exhaustion_boundary_raises(self, scheme, monkeypatch):
+        """With the visible module pool shrunk to one module, asking for
+        more variables than its degree must raise, not loop or wrap
+        forever."""
+        g = scheme.placement.graphs[0]
+        degree = g.adjacent_inputs(0).size
+        monkeypatch.setattr(g, "num_outputs", 1)
+        with pytest.raises(ValueError, match="not enough variables"):
+            module_collision_requests(scheme, degree + 1)
+        # Exactly the boundary still succeeds.
+        reqs = module_collision_requests(scheme, degree)
+        assert np.unique(reqs).size == degree
+
 
 class TestMajorityCollision:
     def test_distinct_variables(self, scheme):
