@@ -253,6 +253,17 @@ class AffineBIBD:
             raise ValueError("input is not incident to output")
         return (self.q**h - 1) // (self.q - 1) + B
 
+    def input_rank(self, input_ids) -> np.ndarray:
+        """Rank of each line at *any* of its points: ``(q^h-1)/(q-1) + B``.
+
+        The rank depends only on the line's own ``(h, B)`` pair, never on
+        which incident point is asked, so callers that already hold a
+        valid incidence (e.g. a copy chain) can skip the incidence check
+        of :meth:`input_rank_at_output`.
+        """
+        h, _, B = self.decode_inputs(input_ids)
+        return (self.q**h - 1) // (self.q - 1) + B
+
     def adjacent_inputs(self, output_id: int) -> np.ndarray:
         """All lines through one point, in rank order (size ``output_degree``).
 

@@ -10,6 +10,13 @@ where ``m = q^{d-1} ((q^l - 1)/(q - 1) + w) + z``.  Because our input ids
 enumerate ``(h, B, A)`` lexicographically, this selection is exactly the
 id prefix ``[0, m)`` — so the subgraph is "the first m lines", and every
 output keeps degree ``floor(qm/q^d)`` or ``ceil(qm/q^d)`` (Theorem 5).
+
+The default incidence queries are arithmetic (storage-free, matching the
+paper's constant-internal-storage claim); :meth:`BalancedSubgraph
+.materialize` trades that storage bound for throughput by precomputing
+neighbor/rank/degree tables (``O(m q)`` ints), turning every hot-path
+query into a fancy-indexing lookup.  The tables are exactly what
+:mod:`repro.cache` persists between runs.
 """
 
 from __future__ import annotations
@@ -60,6 +67,53 @@ class BalancedSubgraph:
         # Theorem 5 bounds.
         self.rho_min = (self.q * m) // self.num_outputs
         self.rho_max = -((-self.q * m) // self.num_outputs)
+        # Materialized fast-path tables (None until materialize()).
+        self._nbr_table: np.ndarray | None = None
+        self._rank_table: np.ndarray | None = None
+        self._outdeg_table: np.ndarray | None = None
+
+    # -- materialization ---------------------------------------------------
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._nbr_table is not None
+
+    def materialize(self) -> "BalancedSubgraph":
+        """Precompute the incidence tables; idempotent, returns self.
+
+        * ``nbr[i, x]`` — the slot-x neighbor of input ``i``;
+        * ``rank[i]`` — the rank of input ``i`` at any incident output;
+        * ``outdeg[u]`` — the exact subgraph degree of output ``u``.
+        """
+        if self._nbr_table is None:
+            ids = np.arange(self.num_inputs, dtype=np.int64)
+            nbr = self.design.neighbors(ids)
+            rank = self.design.input_rank(ids)
+            outdeg = self.output_degree(
+                np.arange(self.num_outputs, dtype=np.int64)
+            )
+            self.attach_tables(nbr, rank, outdeg)
+        return self
+
+    def attach_tables(
+        self, nbr: np.ndarray, rank: np.ndarray, outdeg: np.ndarray
+    ) -> None:
+        """Install precomputed tables (the cache's deserialization hook)."""
+        if nbr.shape != (self.num_inputs, self.q):
+            raise ValueError(f"nbr table shape {nbr.shape} != "
+                             f"({self.num_inputs}, {self.q})")
+        if rank.shape != (self.num_inputs,):
+            raise ValueError("rank table misaligned with inputs")
+        if outdeg.shape != (self.num_outputs,):
+            raise ValueError("outdeg table misaligned with outputs")
+        self._nbr_table = np.ascontiguousarray(nbr, dtype=np.int64)
+        self._rank_table = np.ascontiguousarray(rank, dtype=np.int64)
+        self._outdeg_table = np.ascontiguousarray(outdeg, dtype=np.int64)
+
+    def tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(nbr, rank, outdeg)`` tables (materializing on demand)."""
+        self.materialize()
+        return self._nbr_table, self._rank_table, self._outdeg_table
 
     # -- incidence ---------------------------------------------------------
 
@@ -71,7 +125,32 @@ class BalancedSubgraph:
 
     def neighbors(self, input_ids) -> np.ndarray:
         """The q output neighbors of each selected input; shape ``(..., q)``."""
-        return self.design.neighbors(self._check_inputs(input_ids))
+        arr = self._check_inputs(input_ids)
+        if self._nbr_table is not None:
+            return self._nbr_table[arr]
+        return self.design.neighbors(arr)
+
+    def neighbor_at(self, input_ids, slots) -> np.ndarray:
+        """The single slot-``slots`` neighbor of each input (chain hot path).
+
+        Equivalent to ``neighbors(input_ids)[..., slots]`` element-wise,
+        without materializing the full ``(..., q)`` block when tables are
+        present.
+        """
+        arr = self._check_inputs(input_ids)
+        slots = np.asarray(slots, dtype=np.int64)
+        if self._nbr_table is not None:
+            return self._nbr_table[arr, slots]
+        nbrs = self.design.neighbors(arr)
+        return np.take_along_axis(nbrs, slots[..., None], axis=-1)[..., 0]
+
+    def input_rank(self, input_ids) -> np.ndarray:
+        """Rank of each selected line at any incident point (no incidence
+        check; see :meth:`AffineBIBD.input_rank`)."""
+        arr = self._check_inputs(input_ids)
+        if self._rank_table is not None:
+            return self._rank_table[arr]
+        return self.design.input_rank(arr)
 
     def output_degree(self, output_ids) -> np.ndarray:
         """Exact degree of each output in the subgraph (Theorem 5 witness).
@@ -81,6 +160,8 @@ class BalancedSubgraph:
         ``(h=l, B=w)`` has ``A < z``.
         """
         u = np.asarray(output_ids, dtype=np.int64)
+        if self._outdeg_table is not None:
+            return self._outdeg_table[u]
         base_deg = (self.q**self.l - 1) // (self.q - 1) + self.w
         deg = np.full(u.shape, base_deg, dtype=np.int64)
         if self.z > 0 and self.l < self.d:

@@ -15,13 +15,20 @@ artifact, which is how a written-down failure becomes a regression test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.check.case import CaseSpec, load_artifact, save_artifact
+from repro.check.case import CaseSpec, StepSpec, load_artifact, save_artifact
 from repro.check.oracle import OracleReport, run_case
 
-__all__ = ["DEFAULT_ARTIFACT_DIR", "FuzzReport", "replay", "run_fuzz"]
+__all__ = [
+    "DEFAULT_ARTIFACT_DIR",
+    "FuzzReport",
+    "replay",
+    "run_fuzz",
+    "run_fuzz_parallel",
+    "shrink_case",
+]
 
 DEFAULT_ARTIFACT_DIR = Path("tests") / "data" / "repros"
 
@@ -59,6 +66,7 @@ def run_fuzz(
     *,
     artifact_dir: str | Path = DEFAULT_ARTIFACT_DIR,
     corrupt_read=None,
+    case_runner=None,
 ) -> FuzzReport:
     """Fuzz the protocol stack against the PRAM oracle.
 
@@ -72,6 +80,9 @@ def run_fuzz(
         Where a minimized failing case is written.
     corrupt_read : callable, optional
         Harness self-test hook, forwarded to the oracle.
+    case_runner : callable, optional
+        Replacement for :func:`repro.check.oracle.run_case`
+        (benchmark/self-test hook); receives one CaseSpec.
 
     Returns
     -------
@@ -101,7 +112,10 @@ def run_fuzz(
     def campaign(case: CaseSpec) -> None:
         executed[0] += 1
         try:
-            run_case(case, corrupt_read=corrupt_read)
+            if case_runner is not None:
+                case_runner(case)
+            else:
+                run_case(case, corrupt_read=corrupt_read)
         except Exception:
             # Hypothesis replays the minimal example last, so after
             # shrinking this holds the minimized failing case.
@@ -128,6 +142,183 @@ def run_fuzz(
         )
     return FuzzReport(
         ok=True, seed=seed, requested_cases=cases, executed=executed[0]
+    )
+
+
+def _execute_shard(payload: dict) -> dict:
+    """Process-pool worker: run one shard of cases through the oracle.
+
+    Takes/returns plain dicts (pickle-friendly).  Failures carry the
+    original campaign index so the parent can pick the deterministic
+    first failure regardless of shard interleaving.
+    """
+    failures = []
+    for index, case_dict in zip(payload["indices"], payload["cases"]):
+        case = CaseSpec.from_dict(case_dict)
+        try:
+            run_case(case)
+        except Exception as exc:  # noqa: BLE001 - divergence reporting
+            failures.append(
+                {"index": index, "case": case_dict, "error": str(exc)}
+            )
+    return {"executed": len(payload["cases"]), "failures": failures}
+
+
+def _case_fails(case: CaseSpec) -> str | None:
+    """The divergence message if the oracle rejects ``case``, else None."""
+    try:
+        run_case(case)
+    except Exception as exc:  # noqa: BLE001 - divergence reporting
+        return str(exc)
+    return None
+
+
+def _shrunk_steps(case: CaseSpec) -> list[CaseSpec]:
+    """Candidate cases with one step dropped (front first)."""
+    if len(case.steps) <= 1:
+        return []
+    return [
+        replace(case, steps=case.steps[:i] + case.steps[i + 1 :])
+        for i in range(len(case.steps))
+    ]
+
+
+def _chop_step(step: StepSpec, keep: list[int]) -> StepSpec:
+    """Restrict a step to the request positions in ``keep``."""
+    pick = lambda seq: None if seq is None else tuple(seq[i] for i in keep)  # noqa: E731
+    return StepSpec(
+        op=step.op,
+        variables=tuple(step.variables[i] for i in keep),
+        values=pick(step.values),
+        is_write=pick(step.is_write),
+        workload=step.workload,
+    )
+
+
+def shrink_case(
+    case: CaseSpec, fails, *, max_attempts: int = 250
+) -> CaseSpec:
+    """Greedy minimization of a failing case (the parallel path's
+    substitute for Hypothesis shrinking).
+
+    ``fails(candidate)`` must return truthy while the failure persists.
+    Passes, repeated to a fixpoint within the attempt budget: drop whole
+    steps, clear the fault set, then binary-chop each step's request
+    list (halves first, single requests second).  The result still
+    satisfies ``fails``.
+    """
+    attempts = 0
+
+    def try_candidate(cand: CaseSpec) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        return bool(fails(cand))
+
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        # Pass 1: drop steps.
+        for cand in _shrunk_steps(case):
+            if try_candidate(cand):
+                case = cand
+                improved = True
+                break
+        # Pass 2: clear faults.
+        if case.failed_nodes:
+            cand = replace(case, failed_nodes=())
+            if try_candidate(cand):
+                case = cand
+                improved = True
+        # Pass 3: shrink request lists, coarse halves then singles.
+        for si, step in enumerate(case.steps):
+            size = len(step.variables)
+            if size <= 1:
+                continue
+            half = size // 2
+            chunks = [list(range(half)), list(range(half, size))]
+            chunks += [[i] for i in range(size)]
+            for keep in chunks:
+                if len(keep) == size:
+                    continue
+                steps = (
+                    case.steps[:si]
+                    + (_chop_step(step, keep),)
+                    + case.steps[si + 1 :]
+                )
+                cand = replace(case, steps=steps)
+                if try_candidate(cand):
+                    case = cand
+                    improved = True
+                    break
+    return case
+
+
+def run_fuzz_parallel(
+    seed: int = 0,
+    cases: int = 50,
+    *,
+    workers: int = 1,
+    artifact_dir: str | Path = DEFAULT_ARTIFACT_DIR,
+) -> FuzzReport:
+    """Sweep-runner fuzz campaign: direct case generation, sharded
+    oracle execution, greedy shrinking.
+
+    Functionally equivalent to :func:`run_fuzz` — same parameter space,
+    same oracle, same artifact format — but built for throughput: cases
+    come from a seeded NumPy stream (no Hypothesis engine in the loop)
+    and shards run on a process pool whose workers share the HMOS
+    artifact cache (:mod:`repro.parallel`).  Deterministic in
+    ``(seed, cases)``; the worker count only changes wall-clock, not the
+    case stream or which failure is reported (lowest campaign index
+    wins).
+    """
+    from repro.check.generate import random_cases
+    from repro.parallel import parallel_map
+
+    specs = random_cases(seed, cases)
+    # Contiguous shards; one pickle round-trip per worker, not per case.
+    shard_count = max(1, min(workers, len(specs)))
+    bounds = [
+        (i * len(specs)) // shard_count for i in range(shard_count + 1)
+    ]
+    payloads = [
+        {
+            "indices": list(range(lo, hi)),
+            "cases": [c.to_dict() for c in specs[lo:hi]],
+        }
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    results = parallel_map(_execute_shard, payloads, workers=workers)
+    executed = sum(r["executed"] for r in results)
+    failures = sorted(
+        (f for r in results for f in r["failures"]), key=lambda f: f["index"]
+    )
+    if not failures:
+        return FuzzReport(
+            ok=True, seed=seed, requested_cases=cases, executed=executed
+        )
+    first = failures[0]
+    case = CaseSpec.from_dict(first["case"])
+    shrink_executed = [0]
+
+    def fails(cand: CaseSpec) -> bool:
+        shrink_executed[0] += 1
+        return _case_fails(cand) is not None
+
+    minimized = shrink_case(case, fails)
+    error = _case_fails(minimized) or first["error"]
+    artifact = save_artifact(minimized, artifact_dir, seed=seed, error=error)
+    return FuzzReport(
+        ok=False,
+        seed=seed,
+        requested_cases=cases,
+        executed=executed + shrink_executed[0] + 1,
+        error=error,
+        case=minimized,
+        artifact=artifact,
     )
 
 

@@ -1,0 +1,148 @@
+"""Hypothesis-free case generation for the parallel fuzz path.
+
+The default campaign (:func:`repro.check.fuzz.run_fuzz`) drives the
+Hypothesis engine, whose generation and bookkeeping dominate wall-clock
+on these sub-100ms cases.  The ``--workers`` sweep path instead draws
+:class:`~repro.check.case.CaseSpec` instances directly from a seeded
+NumPy generator over the *same* parameter space and bounds — mesh sizes,
+alpha/q/k grid, curves, fault budget, workload mix, step shapes — so the
+distributions match the Hypothesis strategies in
+:mod:`repro.check.strategies` while costing microseconds per case.
+``random_cases(seed, count)`` is deterministic, and pickles to plain
+dicts for process-pool shards.
+
+This module must stay importable without the ``hypothesis`` extra; the
+strategies module re-exports :func:`feasible_configs` from here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.check.case import CaseSpec, StepSpec
+from repro.hmos.adversary import (
+    majority_collision_requests,
+    module_collision_requests,
+)
+from repro.hmos.params import HMOSParams
+from repro.hmos.scheme import HMOS
+
+__all__ = ["feasible_configs", "random_case", "random_cases"]
+
+#: Bounds keeping one fuzz case under ~100 ms: small meshes, capped
+#: memory (the invariants are size-uniform; the theorems' asymptotics
+#: are covered by the E4/E8 benchmarks instead).
+N_CHOICES = (16, 64)
+ALPHA_CHOICES = (1.1, 1.25, 1.5, 2.0)
+Q_CHOICES = (3, 4, 5)
+K_CHOICES = (1, 2, 3)
+MAX_VARIABLES = 20_000
+MAX_STEPS = 4
+MAX_FAULTS = 3
+CURVES = ("morton", "hilbert")
+WORKLOADS = ("uniform", "module", "majority")
+
+
+@lru_cache(maxsize=1)
+def feasible_configs() -> tuple[tuple[int, float, int, int], ...]:
+    """All ``(n, alpha, q, k)`` combinations the HMOS can instantiate
+    within the fuzz budget, smallest first (shrinking prefers the front
+    of the list)."""
+    out = []
+    for n in N_CHOICES:
+        for alpha in ALPHA_CHOICES:
+            for q in Q_CHOICES:
+                for k in K_CHOICES:
+                    try:
+                        params = HMOSParams(n=n, alpha=alpha, q=q, k=k)
+                    except ValueError:
+                        continue
+                    if params.num_variables <= MAX_VARIABLES:
+                        out.append((n, alpha, q, k))
+    out.sort(key=lambda cfg: (cfg[0], HMOSParams(*cfg).num_variables, cfg[3]))
+    return tuple(out)
+
+
+def _scheme_for(n: int, alpha: float, q: int, k: int) -> HMOS:
+    """Read-only HMOS used to materialize adversarial request sets at
+    generation time (the oracle builds its own fresh instances)."""
+    return HMOS.cached(n, alpha, q, k)
+
+
+def _request_count(rng: np.random.Generator, n: int) -> int:
+    """Log-uniform request-set size in ``[1, n]``.
+
+    Standard fuzz sizing — mostly small cases (fast to execute, easy to
+    shrink) with a tail reaching the full-load boundary — which also
+    matches the effective size distribution of the Hypothesis path, so
+    campaign wall-clocks stay comparable per case.
+    """
+    return int(np.exp(rng.uniform(0.0, np.log(n + 1))))
+
+
+def _random_step(
+    rng: np.random.Generator, n: int, alpha: float, q: int, k: int
+) -> StepSpec:
+    """One memory step against the given configuration."""
+    scheme = _scheme_for(n, alpha, q, k)
+    num_vars = scheme.num_variables
+    workload = WORKLOADS[rng.integers(len(WORKLOADS))]
+    if workload == "uniform":
+        count = _request_count(rng, n)
+        variables = tuple(
+            int(v) for v in rng.choice(num_vars, size=count, replace=False)
+        )
+    else:
+        count = _request_count(rng, n)
+        if workload == "module":
+            graph = scheme.placement.graphs[0]
+            module = int(rng.integers(graph.num_outputs))
+            picked = module_collision_requests(scheme, count, module=module)
+        else:
+            try:
+                picked = majority_collision_requests(scheme, count)
+            except ValueError:
+                # Pool too small to force majorities at this count; the
+                # single-module attack is the fallback concentration.
+                picked = module_collision_requests(scheme, count)
+        variables = tuple(int(v) for v in np.asarray(picked))
+    op = ("read", "write", "mixed")[rng.integers(3)]
+    values = is_write = None
+    if op in ("write", "mixed"):
+        values = tuple(
+            int(v) for v in rng.integers(0, 10**6 + 1, size=len(variables))
+        )
+    if op == "mixed":
+        is_write = tuple(bool(b) for b in rng.integers(0, 2, size=len(variables)))
+    return StepSpec(
+        op=op,
+        variables=variables,
+        values=values,
+        is_write=is_write,
+        workload=workload,
+    )
+
+
+def random_case(rng: np.random.Generator) -> CaseSpec:
+    """A full differential-oracle scenario drawn from ``rng``."""
+    configs = feasible_configs()
+    n, alpha, q, k = configs[rng.integers(len(configs))]
+    curve = CURVES[rng.integers(len(CURVES))]
+    n_faults = int(rng.integers(0, MAX_FAULTS + 1))
+    failed = tuple(
+        int(x) for x in sorted(rng.choice(n, size=n_faults, replace=False))
+    )
+    n_steps = int(rng.integers(1, MAX_STEPS + 1))
+    steps = tuple(_random_step(rng, n, alpha, q, k) for _ in range(n_steps))
+    return CaseSpec(
+        n=n, alpha=alpha, q=q, k=k, curve=curve, failed_nodes=failed, steps=steps
+    )
+
+
+def random_cases(seed: int, count: int) -> list[CaseSpec]:
+    """``count`` cases, deterministic in ``seed`` (independent of worker
+    count — the stream is drawn up front, then sharded)."""
+    rng = np.random.default_rng(seed)
+    return [random_case(rng) for _ in range(count)]

@@ -9,6 +9,16 @@ the same request stream and cross-checks them after every step:
   charging) on an independent HMOS instance with identical parameters,
 * a plain NumPy shared-memory image — the ideal PRAM of Definition 2.
 
+The two HMOS instances are deliberately built through *different
+construction paths*: the cycle scheme via :meth:`HMOS.cached` (artifact
+cache — materialized incidence tables, memoized initial target-set row,
+threaded chain tensor) and the model scheme via plain ``HMOS(...)``
+(finite-field arithmetic, per-copy incidence validation).  Every fuzz
+case therefore differentially certifies the throughput layer's fast
+paths against the legacy arithmetic, on top of the engine cross-checks.
+Both engines execute the whole request stream through the batched
+:meth:`~repro.protocol.access.AccessProtocol.run_steps` executor.
+
 Checked per step:
 
 * **value exactness** — every read/mixed result from both engines equals
@@ -52,7 +62,7 @@ from repro.check.case import CaseSpec, StepSpec
 from repro.culling.audit import audit_theorem3
 from repro.hmos.faults import FaultInjector
 from repro.hmos.scheme import HMOS
-from repro.protocol.access import AccessProtocol, AccessResult
+from repro.protocol.access import AccessProtocol, AccessResult, StepError
 
 __all__ = [
     "DifferentialOracle",
@@ -113,8 +123,10 @@ class DifferentialOracle:
     ):
         self.case = case
         self.corrupt_read = corrupt_read
-        self._cycle_scheme = HMOS(
-            n=case.n, alpha=case.alpha, q=case.q, k=case.k, curve=case.curve
+        # Cache-backed vs arithmetic construction (see module docstring):
+        # a fresh CopyMemory per oracle either way, so runs are isolated.
+        self._cycle_scheme = HMOS.cached(
+            case.n, case.alpha, case.q, case.k, curve=case.curve
         )
         self._model_scheme = HMOS(
             n=case.n, alpha=case.alpha, q=case.q, k=case.k, curve=case.curve
@@ -136,22 +148,46 @@ class DifferentialOracle:
     # -- execution ---------------------------------------------------------
 
     def run(self) -> OracleReport:
-        """Execute every step; raises :class:`DivergenceError` on mismatch."""
-        outcomes = []
+        """Execute every step; raises :class:`DivergenceError` on mismatch.
+
+        Both engines run the whole stream through the batched executor
+        (refusals recorded as :class:`StepError`), then the verdicts are
+        compared step by step against the advancing PRAM image —
+        bit-identical to issuing the steps one at a time, since the
+        executor stamps ``start_timestamp + index``.
+        """
         for index, step in enumerate(self.case.steps):
-            outcomes.append(self._run_step(index, step))
+            variables = np.asarray(step.variables, dtype=np.int64)
+            num_vars = self._cycle_scheme.num_variables
+            if variables.size and np.any(
+                (variables < 0) | (variables >= num_vars)
+            ):
+                raise ValueError(
+                    f"step {index}: variable id out of range [0, {num_vars})"
+                )
+        cycle_results = self._cycle.run_steps(
+            self.case.steps, start_timestamp=1, on_error="record"
+        )
+        model_results = self._model.run_steps(
+            self.case.steps, start_timestamp=1, on_error="record"
+        )
+        outcomes = []
+        for index, (step, cycle_res, model_res) in enumerate(
+            zip(self.case.steps, cycle_results, model_results)
+        ):
+            outcomes.append(
+                self._judge_step(index, step, cycle_res, model_res)
+            )
         return OracleReport(case=self.case, outcomes=tuple(outcomes))
 
-    def _run_step(self, index: int, step: StepSpec) -> StepOutcome:
+    def _judge_step(self, index, step, cycle_res, model_res) -> StepOutcome:
         variables = np.asarray(step.variables, dtype=np.int64)
-        num_vars = self._cycle_scheme.num_variables
-        if variables.size and np.any((variables < 0) | (variables >= num_vars)):
-            raise ValueError(
-                f"step {index}: variable id out of range [0, {num_vars})"
-            )
-        timestamp = index + 1
-        cycle_res, cycle_err = self._attempt(self._cycle, step, timestamp)
-        model_res, model_err = self._attempt(self._model, step, timestamp)
+        cycle_err = (
+            cycle_res.message if isinstance(cycle_res, StepError) else None
+        )
+        model_err = (
+            model_res.message if isinstance(model_res, StepError) else None
+        )
         if (cycle_err is None) != (model_err is None):
             raising = "cycle" if cycle_err else "model"
             self._fail(
@@ -191,26 +227,6 @@ class DifferentialOracle:
         return StepOutcome(
             index=index, op=step.op, n_requests=variables.size, skipped=False
         )
-
-    @staticmethod
-    def _attempt(
-        protocol: AccessProtocol, step: StepSpec, timestamp: int
-    ) -> tuple[AccessResult | None, str | None]:
-        variables = np.asarray(step.variables, dtype=np.int64)
-        try:
-            if step.op == "read":
-                return protocol.read(variables), None
-            if step.op == "write":
-                values = np.asarray(step.values, dtype=np.int64)
-                return protocol.write(variables, values, timestamp=timestamp), None
-            values = np.asarray(step.values, dtype=np.int64)
-            is_write = np.asarray(step.is_write, dtype=bool)
-            return (
-                protocol.mixed(variables, is_write, values, timestamp=timestamp),
-                None,
-            )
-        except RuntimeError as exc:  # unrecoverable under faults
-            return None, str(exc)
 
     # -- checks ------------------------------------------------------------
 

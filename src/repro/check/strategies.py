@@ -23,47 +23,20 @@ import numpy as np
 from hypothesis import strategies as st
 
 from repro.check.case import CaseSpec, StepSpec
+from repro.check.generate import feasible_configs
+from repro.check.generate import (  # single source of truth for bounds
+    CURVES as _CURVES,
+    MAX_FAULTS as _MAX_FAULTS,
+    MAX_STEPS as _MAX_STEPS,
+    WORKLOADS as _WORKLOADS,
+)
 from repro.hmos.adversary import (
     majority_collision_requests,
     module_collision_requests,
 )
-from repro.hmos.params import HMOSParams
 from repro.hmos.scheme import HMOS
 
 __all__ = ["case_specs", "feasible_configs", "step_specs"]
-
-#: Bounds keeping one fuzz case under ~100 ms: small meshes, capped
-#: memory (the invariants are size-uniform; the theorems' asymptotics
-#: are covered by the E4/E8 benchmarks instead).
-_N_CHOICES = (16, 64)
-_ALPHA_CHOICES = (1.1, 1.25, 1.5, 2.0)
-_Q_CHOICES = (3, 4, 5)
-_K_CHOICES = (1, 2, 3)
-_MAX_VARIABLES = 20_000
-_MAX_STEPS = 4
-_MAX_FAULTS = 3
-_CURVES = ("morton", "hilbert")
-_WORKLOADS = ("uniform", "module", "majority")
-
-
-@lru_cache(maxsize=1)
-def feasible_configs() -> tuple[tuple[int, float, int, int], ...]:
-    """All ``(n, alpha, q, k)`` combinations the HMOS can instantiate
-    within the fuzz budget, smallest first (Hypothesis shrinks toward
-    the front of the list)."""
-    out = []
-    for n in _N_CHOICES:
-        for alpha in _ALPHA_CHOICES:
-            for q in _Q_CHOICES:
-                for k in _K_CHOICES:
-                    try:
-                        params = HMOSParams(n=n, alpha=alpha, q=q, k=k)
-                    except ValueError:
-                        continue
-                    if params.num_variables <= _MAX_VARIABLES:
-                        out.append((n, alpha, q, k))
-    out.sort(key=lambda cfg: (cfg[0], HMOSParams(*cfg).num_variables, cfg[3]))
-    return tuple(out)
 
 
 @lru_cache(maxsize=None)

@@ -10,6 +10,7 @@ Commands
 ``experiments``  list or execute the E1..E17 reproduction suite
 ``check``    differential verification: fuzz the stack against the PRAM
              oracle, or replay a recorded divergence artifact
+``cache``    inspect or clear the on-disk HMOS artifact cache
 """
 
 from __future__ import annotations
@@ -142,7 +143,7 @@ def _cmd_experiments(args) -> int:
     from repro.experiments import list_table, run
 
     if args.run:
-        return run(args.run)
+        return run(args.run, workers=args.workers)
     print(list_table())
     print("\nRun with: python -m repro experiments --run E4 E8   (or pytest benchmarks/)")
     return 0
@@ -150,12 +151,25 @@ def _cmd_experiments(args) -> int:
 
 def _cmd_check(args) -> int:
     if args.check_command == "fuzz":
+        if args.workers and args.workers > 1:
+            # Sweep-runner path: direct case generation + process pool
+            # over the shared artifact cache (no hypothesis needed).
+            from repro.check.fuzz import run_fuzz_parallel
+
+            report = run_fuzz_parallel(
+                seed=args.seed,
+                cases=args.cases,
+                workers=args.workers,
+                artifact_dir=args.dir,
+            )
+            print(report.summary())
+            return 0 if report.ok else 1
         try:
             from repro.check.fuzz import run_fuzz
         except ImportError:
             print(
                 "repro check fuzz requires the 'hypothesis' package "
-                "(pip install 'repro[test]')",
+                "(pip install 'repro[test]'), or use --workers N",
                 file=sys.stderr,
             )
             return 2
@@ -175,6 +189,18 @@ def _cmd_check(args) -> int:
         f"artifact passes: {report.steps_checked} steps checked, "
         f"{report.steps_skipped} skipped ({report.case.describe()})"
     )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache import ArtifactCache
+
+    cache = ArtifactCache(args.dir)
+    if args.cache_command == "stats":
+        print(cache.summary())
+        return 0
+    removed = cache.clear(disk=True)
+    print(f"removed {removed} artifact(s) from {cache.cache_dir}")
     return 0
 
 
@@ -217,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="list or run the E1..E17 experiments")
     p.add_argument("--run", nargs="*", metavar="EID",
                    help="experiment ids to execute (default: list only)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="run the selected experiments' pytest files as N "
+                   "concurrent subprocesses")
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser(
@@ -233,10 +262,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="tests/data/repros",
         help="directory for minimized JSON repro artifacts",
     )
+    pf.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool sweep runner with N workers (direct seeded "
+        "generation instead of the hypothesis engine)",
+    )
     pf.set_defaults(fn=_cmd_check)
     pr = check_sub.add_parser("replay", help="re-execute a repro artifact")
     pr.add_argument("artifact", help="path to a divergence_*.json artifact")
     pr.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("cache", help="inspect or clear the HMOS artifact cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_ in (
+        ("stats", "print cache location, artifacts, and session counters"),
+        ("clear", "remove all persisted artifacts (every version)"),
+    ):
+        pc = cache_sub.add_parser(name, help=help_)
+        pc.add_argument(
+            "--dir",
+            default=None,
+            help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        pc.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("run", help="run a PRAM assembly program on the mesh")
     p.add_argument("file", help="assembly file, or - for stdin")

@@ -37,6 +37,7 @@ def cull_with_faults(
     allowed: np.ndarray,
     *,
     cost_model: CostModel | None = None,
+    chains: np.ndarray | None = None,
 ) -> FaultyCullingResult:
     """CULLING restricted to the available copies.
 
@@ -44,6 +45,10 @@ def cull_with_faults(
     ----------
     allowed : bool array, shape (N, q^k)
         Copy availability (see :meth:`FaultInjector.allowed_mask`).
+    chains : int array, shape (N, q^k, k), optional
+        Precomputed module-chain tensor of the full copy grid; when the
+        caller already derived it (e.g. to build ``allowed``), passing
+        it avoids a second full-grid chain computation.
 
     Raises
     ------
@@ -87,7 +92,10 @@ def cull_with_faults(
 
     v_grid = np.repeat(variables, red)
     p_grid = np.tile(np.arange(red, dtype=np.int64), n_req)
-    chains = scheme.placement.chains(v_grid, p_grid).reshape(n_req, red, k)
+    if chains is None:
+        chains = scheme.placement.chains(v_grid, p_grid).reshape(n_req, red, k)
+    else:
+        chains = np.asarray(chains, dtype=np.int64).reshape(n_req, red, k)
 
     stats: list[IterationStats] = []
     charged = 0.0
@@ -105,7 +113,11 @@ def cull_with_faults(
         chosen[keep] = selected[keep]
         selected = chosen
         sel_keys = keys[selected]
-        max_load = int(np.bincount(sel_keys).max()) if sel_keys.size else 0
+        max_load = (
+            int(np.unique(sel_keys, return_counts=True)[1].max())
+            if sel_keys.size
+            else 0
+        )
         stats.append(
             IterationStats(
                 level=level,
@@ -123,5 +135,6 @@ def cull_with_faults(
         selected=selected,
         iterations=tuple(stats),
         charged_steps=charged,
+        chains=chains,
         start_levels=start_levels,
     )

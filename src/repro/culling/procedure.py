@@ -61,12 +61,17 @@ class CullingResult:
         Diagnostics per level.
     charged_steps : float
         Eq. (2) mesh-step charge for running the procedure.
+    chains : np.ndarray or None
+        The full ``(N, q^k, k)`` module-chain tensor CULLING already
+        derived for every copy; the access protocol slices the selected
+        rows out of it instead of recomputing ``placement.chains``.
     """
 
     variables: np.ndarray
     selected: np.ndarray
     iterations: tuple[IterationStats, ...]
     charged_steps: float
+    chains: np.ndarray | None = None
 
     @property
     def total_selected(self) -> int:
@@ -150,6 +155,7 @@ def cull(
             selected=np.zeros((0, params.redundancy), dtype=bool),
             iterations=(),
             charged_steps=0.0,
+            chains=np.zeros((0, params.redundancy, params.k), dtype=np.int64),
         )
     cost_model = cost_model or CostModel()
     q, k = params.q, params.k
@@ -180,9 +186,15 @@ def cull(
                 "CULLING invariant violated: C^{i-1} lost its target set"
             )
         selected = chosen
-        # Diagnostics: page load after this iteration.
+        # Diagnostics: page load after this iteration.  np.unique counts
+        # only the occupied pages; bincount would allocate an array as
+        # large as the biggest page *key* (m_level * q^(k-level) ids).
         sel_keys = keys[selected.astype(bool)]
-        max_load = int(np.bincount(sel_keys).max()) if sel_keys.size else 0
+        max_load = (
+            int(np.unique(sel_keys, return_counts=True)[1].max())
+            if sel_keys.size
+            else 0
+        )
         stats.append(
             IterationStats(
                 level=level,
@@ -207,4 +219,5 @@ def cull(
         selected=selected,
         iterations=tuple(stats),
         charged_steps=charged,
+        chains=chains,
     )

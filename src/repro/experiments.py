@@ -92,8 +92,19 @@ def list_table() -> str:
                         title="Reproduction experiments (see EXPERIMENTS.md)")
 
 
-def run(ids: list[str] | None = None, *, extra_args: list[str] | None = None) -> int:
-    """Execute experiments through pytest; returns the exit code."""
+def run(
+    ids: list[str] | None = None,
+    *,
+    extra_args: list[str] | None = None,
+    workers: int = 1,
+) -> int:
+    """Execute experiments through pytest; returns the exit code.
+
+    With ``workers > 1`` each selected experiment file runs as its own
+    pytest subprocess, fanned out via
+    :func:`repro.parallel.run_commands`; the result is the worst exit
+    code (so one red experiment still fails the sweep).
+    """
     bench_dir = _benchmarks_dir()
     targets = []
     if ids:
@@ -104,6 +115,14 @@ def run(ids: list[str] | None = None, *, extra_args: list[str] | None = None) ->
             targets.append(str(bench_dir / EXPERIMENTS[key].bench))
     else:
         targets.append(str(bench_dir))
-    cmd = [sys.executable, "-m", "pytest", *targets, "--benchmark-only", "-q", "-s"]
-    cmd.extend(extra_args or [])
+    base = ["--benchmark-only", "-q", "-s", *(extra_args or [])]
+    if workers > 1 and len(targets) > 1:
+        from repro.parallel import run_commands
+
+        commands = [
+            [sys.executable, "-m", "pytest", target, *base] for target in targets
+        ]
+        codes = run_commands(commands, workers=workers)
+        return max(codes)
+    cmd = [sys.executable, "-m", "pytest", *targets, *base]
     return subprocess.call(cmd)

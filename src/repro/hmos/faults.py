@@ -77,16 +77,24 @@ class FaultInjector:
             raise ValueError("node id out of range")
         self._failed[node_ids] = False
 
-    def allowed_mask(self, variables) -> np.ndarray:
+    def allowed_mask(self, variables, *, chains=None) -> np.ndarray:
         """Availability of each copy of each variable; shape ``(N, q^k)``.
 
         A copy is available iff the node storing it has not failed.
+        ``chains`` optionally carries the precomputed ``(N, q^k, k)``
+        module-chain tensor of the full copy grid (the batched step
+        executor computes it once and shares it with fault-aware
+        culling) so copy locations need no second chain derivation.
         """
         variables = np.asarray(variables, dtype=np.int64)
         red = self.scheme.params.redundancy
         v_grid = np.repeat(variables, red)
         p_grid = np.tile(np.arange(red, dtype=np.int64), variables.size)
-        nodes = self.scheme.copy_nodes(v_grid, p_grid).reshape(variables.size, red)
+        if chains is not None:
+            chains = np.asarray(chains).reshape(v_grid.size, -1)
+        nodes = self.scheme.placement.copy_nodes(v_grid, p_grid, chains).reshape(
+            variables.size, red
+        )
         return ~self._failed[nodes]
 
     def recoverable(self, variables) -> np.ndarray:

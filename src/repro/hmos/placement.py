@@ -42,7 +42,13 @@ SCALE = 1 << 16  # virtual units per mesh node
 class Placement:
     """Copy -> mesh-node map for one HMOS instance."""
 
-    def __init__(self, params: HMOSParams, mesh: Mesh | None = None):
+    def __init__(
+        self,
+        params: HMOSParams,
+        mesh: Mesh | None = None,
+        *,
+        graphs: list[BalancedSubgraph] | None = None,
+    ):
         self.params = params
         self.mesh = mesh if mesh is not None else Mesh(params.side)
         if self.mesh.n != params.n:
@@ -53,10 +59,22 @@ class Placement:
         # graphs[i] is the bipartite graph U_i -> U_{i+1}: a balanced
         # subgraph of the (q^{d_{i+1}}, q)-BIBD keeping m_i inputs.
         # For i = 0 (variables -> level-1 modules) the subgraph is the
-        # full design since m_0 = f(d_1).
-        self.graphs = [
-            BalancedSubgraph(q, params.d[i], params.m[i]) for i in range(k)
-        ]
+        # full design since m_0 = f(d_1).  Prebuilt (possibly
+        # materialized) graphs may be injected by the artifact cache.
+        if graphs is not None:
+            if len(graphs) != k:
+                raise ValueError(f"need {k} level graphs, got {len(graphs)}")
+            for i, g in enumerate(graphs):
+                if (g.q, g.d, g.num_inputs) != (q, params.d[i], params.m[i]):
+                    raise ValueError(
+                        f"level-{i + 1} graph {g!r} does not match params"
+                    )
+            self.graphs = list(graphs)
+        else:
+            self.graphs = [
+                BalancedSubgraph(q, params.d[i], params.m[i]) for i in range(k)
+            ]
+        self._digit_table: np.ndarray | None = None
         for i, g in enumerate(self.graphs):
             if g.num_outputs != params.m[i + 1]:
                 raise AssertionError(
@@ -72,6 +90,15 @@ class Placement:
         digits = digits_from_int(paths, q, k)  # LSD first
         return digits[..., ::-1]
 
+    @property
+    def digit_table(self) -> np.ndarray:
+        """Branch digits of all ``q^k`` paths, shape ``(q^k, k)`` (memoized)."""
+        if self._digit_table is None:
+            self._digit_table = self.path_digits(
+                np.arange(self.params.redundancy, dtype=np.int64)
+            )
+        return self._digit_table
+
     def chains(self, variables, paths) -> np.ndarray:
         """Module chain ``(u_1, ..., u_k)`` of each copy; shape (N, k).
 
@@ -83,14 +110,12 @@ class Placement:
         variables, paths = np.broadcast_arrays(variables, paths)
         shape = variables.shape
         v = variables.reshape(-1)
-        e = self.path_digits(paths.reshape(-1))  # (N, k)
+        e = self.digit_table[paths.reshape(-1)]  # (N, k)
         n = v.size
         out = np.empty((n, self.params.k), dtype=np.int64)
         cur = v
-        rows = np.arange(n)
         for j in range(self.params.k):
-            nbrs = self.graphs[j].neighbors(cur)  # (N, q)
-            cur = nbrs[rows, e[:, j]]
+            cur = self.graphs[j].neighbor_at(cur, e[:, j])
             out[:, j] = cur
         return out.reshape(*shape, self.params.k)
 
@@ -121,7 +146,13 @@ class Placement:
             u_j = chains[:, j - 1]
             inner = chains[:, j - 2] if j >= 2 else variables
             parts = g.output_degree(u_j)
-            rank = g.input_rank_at_output(inner, u_j)
+            # The chain guarantees (inner, u_j) incidence, so the
+            # materialized fast path skips the incidence check; the
+            # arithmetic path keeps it as defense in depth.
+            if g.is_materialized:
+                rank = g.input_rank(inner)
+            else:
+                rank = g.input_rank_at_output(inner, u_j)
             size = stop - start
             new_start = start + (rank * size) // parts
             stop = start + ((rank + 1) * size) // parts

@@ -47,6 +47,45 @@ class HMOS:
         self.mesh = Mesh(self.params.side, curve=curve)
         self.placement = Placement(self.params, self.mesh)
         self.memory = CopyMemory(self.params)
+        self._initial_row: np.ndarray | None = None
+
+    @classmethod
+    def cached(
+        cls,
+        n: int,
+        alpha: float,
+        q: int = 3,
+        k: int = 2,
+        *,
+        curve: str = "morton",
+        cache=None,
+    ) -> "HMOS":
+        """Build an HMOS through the artifact cache (:mod:`repro.cache`).
+
+        The expensive immutable parts — level graphs with *materialized*
+        incidence tables, the mesh, the initial target-set row — are
+        shared between all instances with the same ``(n, alpha, q, k,
+        curve)`` key (and persisted on disk); every call returns a new
+        instance with its own fresh :class:`CopyMemory`, so cached
+        schemes never share memory state.
+        """
+        from repro.cache import default_cache
+
+        cache = cache if cache is not None else default_cache()
+        return cache.scheme(n, alpha, q, k, curve=curve)
+
+    @classmethod
+    def _from_parts(
+        cls, params: HMOSParams, mesh, placement, initial_row=None
+    ) -> "HMOS":
+        """Assemble an instance around prebuilt immutable parts."""
+        self = cls.__new__(cls)
+        self.params = params
+        self.mesh = mesh
+        self.placement = placement
+        self.memory = CopyMemory(params)
+        self._initial_row = initial_row
+        return self
 
     # -- convenience -------------------------------------------------------
 
@@ -67,14 +106,18 @@ class HMOS:
         set per variable (supermajority at every tree level).
 
         All variables share the same leaf pattern because the tree shape
-        is variable-independent; shape ``(count, q^k)``.
+        is variable-independent; shape ``(count, q^k)``.  The single row
+        is memoized per scheme (it never changes), so repeated CULLING
+        passes pay only the ``np.repeat``.
         """
-        q, k = self.params.q, self.params.k
-        full = np.ones((1, self.params.redundancy), dtype=bool)
-        feasible, chosen, _ = extract_min_target_set(full, full, q, k, level=0)
-        assert feasible.all()
-        assert chosen.sum() == target_set_size(q, k, 0)
-        return np.repeat(chosen, count, axis=0)
+        if self._initial_row is None:
+            q, k = self.params.q, self.params.k
+            full = np.ones((1, self.params.redundancy), dtype=bool)
+            feasible, chosen, _ = extract_min_target_set(full, full, q, k, level=0)
+            assert feasible.all()
+            assert chosen.sum() == target_set_size(q, k, 0)
+            self._initial_row = chosen
+        return np.repeat(self._initial_row, count, axis=0)
 
     def is_target_set(self, masks: np.ndarray) -> np.ndarray:
         """Definition 2 check: do the reached leaves access the root?"""

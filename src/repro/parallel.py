@@ -1,0 +1,77 @@
+"""Process-pool sweep runner shared by the fuzzer and the experiments.
+
+Workers are plain processes (``ProcessPoolExecutor``, fork context when
+the platform has it) initialized to point their per-process
+:func:`repro.cache.default_cache` at the parent's cache directory, so
+every worker reuses the same persisted HMOS artifacts instead of
+rebuilding subgraph tables per shard.  ``workers <= 1`` degrades to an
+inline map — no pool, no serialization — which keeps single-core
+environments and debuggers on the exact same code path.
+
+``run_commands`` covers the other sweep shape: independent *subprocess*
+invocations (the per-experiment pytest runs of ``repro experiments``),
+fanned out on threads since the children are processes already.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["parallel_map", "run_commands"]
+
+
+def _init_worker(cache_dir: str | None) -> None:
+    """Worker bootstrap: share the parent's artifact-cache directory."""
+    if cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    # Fresh per-process singleton; first use warms from the shared disk.
+    from repro.cache import reset_default_cache
+
+    reset_default_cache()
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def parallel_map(fn, items, *, workers: int = 1, cache_dir: str | None = None):
+    """Map ``fn`` over ``items``, order-preserving.
+
+    ``workers <= 1`` runs inline.  ``fn`` and the items must be picklable
+    for the pool path (top-level functions, plain data).  ``cache_dir``
+    overrides the artifact-cache location exported to the workers
+    (default: the parent's resolved cache directory).
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if cache_dir is None:
+        from repro.cache import default_cache
+
+        cache_dir = str(default_cache().cache_dir)
+    workers = min(workers, len(items))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=_init_worker,
+        initargs=(cache_dir,),
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
+def run_commands(commands, *, workers: int = 1) -> list[int]:
+    """Run independent subprocess command lines; returns exit codes in order.
+
+    The children are full processes, so the fan-out layer is threads.
+    """
+    commands = [list(cmd) for cmd in commands]
+    if workers <= 1 or len(commands) <= 1:
+        return [subprocess.call(cmd) for cmd in commands]
+    with ThreadPoolExecutor(max_workers=min(workers, len(commands))) as pool:
+        return list(pool.map(subprocess.call, commands))

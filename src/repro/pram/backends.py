@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.hmos.scheme import HMOS
 from repro.mesh.costmodel import CostModel
-from repro.protocol.access import AccessProtocol, AccessResult
+from repro.protocol.access import AccessProtocol, AccessResult, StepRequest
 
 __all__ = ["Backend", "IdealBackend", "MeshBackend"]
 
@@ -38,6 +38,8 @@ class Backend(Protocol):
     def mixed_step(
         self, read_cells: np.ndarray, write_cells: np.ndarray, values: np.ndarray
     ) -> np.ndarray: ...  # noqa: E704
+
+    def run_steps(self, requests: list[StepRequest]) -> list: ...  # noqa: E704
 
 
 class IdealBackend:
@@ -66,6 +68,25 @@ class IdealBackend:
         self.cost += 1.0
         out = self._mem[read_cells].copy()
         self._mem[write_cells] = values
+        return out
+
+    def run_steps(self, requests: list[StepRequest]) -> list:
+        """Batched dispatch; one unit cost per step, like the loop."""
+        out = []
+        for req in requests:
+            cells = np.asarray(req.variables, dtype=np.int64)
+            if req.op == "read":
+                out.append(self.read_step(cells))
+            elif req.op == "write":
+                self.write_step(cells, np.asarray(req.values, dtype=np.int64))
+                out.append(None)
+            else:
+                is_write = np.asarray(req.is_write, dtype=bool)
+                values = np.asarray(req.values, dtype=np.int64)
+                self.cost += 1.0
+                fetched = self._mem[cells].copy()
+                self._mem[cells[is_write]] = values[is_write]
+                out.append(fetched)
         return out
 
     def snapshot(self) -> np.ndarray:
@@ -135,6 +156,27 @@ class MeshBackend:
         self.access_log.append(res)
         lookup = np.searchsorted(union, read_cells)
         return res.values[lookup]
+
+    def run_steps(self, requests: list[StepRequest]) -> list:
+        """Batched request stream through the protocol's step executor.
+
+        Equivalent to calling ``read_step``/``write_step``/``mixed_step``
+        in sequence — same timestamps (the executor continues this
+        backend's monotone clock), same cost accumulation, same access
+        log — but the protocol's per-scheme reusable state is amortized
+        over the whole stream.  Returns one entry per step: the fetched
+        values for read/mixed steps, ``None`` for writes.
+        """
+        results = self.protocol.run_steps(
+            requests, start_timestamp=self._time + 1, on_error="raise"
+        )
+        self._time += len(results)
+        out = []
+        for res in results:
+            self.cost += res.total_steps
+            self.access_log.append(res)
+            out.append(res.values if res.op in ("read", "mixed") else None)
+        return out
 
     @property
     def mesh_steps(self) -> float:

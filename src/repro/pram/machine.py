@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pram.backends import Backend
+from repro.protocol.access import StepRequest
 
 __all__ = ["IDLE", "PRAMMachine"]
 
@@ -189,26 +190,60 @@ class PRAMMachine:
 
     def scatter(self, base: int, values: np.ndarray) -> None:
         """Store ``values[i]`` at address ``base + i`` (one step if the
-        array fits the processor count, else several)."""
+        array fits the processor count, else several).
+
+        Chunks carry distinct consecutive addresses, so the whole
+        transfer is conflict-free under every policy and goes through
+        the backend's batched step executor in one call.
+        """
         values = np.asarray(values, dtype=np.int64)
+        if values.size and not (
+            0 <= base and base + values.size <= self.backend.memory_size
+        ):
+            raise ValueError("address out of shared-memory range")
         P = self.num_processors
+        if not hasattr(self.backend, "run_steps"):
+            for lo in range(0, values.size, P):  # duck-typed backends
+                chunk = values[lo : lo + P]
+                addrs = np.full(P, IDLE, dtype=np.int64)
+                addrs[: chunk.size] = base + lo + np.arange(chunk.size)
+                vals = np.zeros(P, dtype=np.int64)
+                vals[: chunk.size] = chunk
+                self.write(addrs, vals)
+            return
+        requests = []
         for lo in range(0, values.size, P):
             chunk = values[lo : lo + P]
-            addrs = np.full(P, IDLE, dtype=np.int64)
-            addrs[: chunk.size] = base + lo + np.arange(chunk.size)
-            vals = np.zeros(P, dtype=np.int64)
-            vals[: chunk.size] = chunk
-            self.write(addrs, vals)
+            addrs = base + lo + np.arange(chunk.size, dtype=np.int64)
+            requests.append(
+                StepRequest(op="write", variables=addrs, values=chunk)
+            )
+        self.backend.run_steps(requests)
+        self.pram_steps += len(requests)
 
     def gather(self, base: int, count: int) -> np.ndarray:
-        """Fetch ``count`` consecutive cells starting at ``base``."""
+        """Fetch ``count`` consecutive cells starting at ``base`` (batched
+        like :meth:`scatter`)."""
+        if count and not (0 <= base and base + count <= self.backend.memory_size):
+            raise ValueError("address out of shared-memory range")
         P = self.num_processors
         out = np.empty(count, dtype=np.int64)
+        if not hasattr(self.backend, "run_steps"):
+            for lo in range(0, count, P):  # duck-typed backends
+                size = min(P, count - lo)
+                addrs = np.full(P, IDLE, dtype=np.int64)
+                addrs[:size] = base + lo + np.arange(size)
+                out[lo : lo + size] = self.read(addrs)[:size]
+            return out
+        requests = []
         for lo in range(0, count, P):
             size = min(P, count - lo)
-            addrs = np.full(P, IDLE, dtype=np.int64)
-            addrs[:size] = base + lo + np.arange(size)
-            out[lo : lo + size] = self.read(addrs)[:size]
+            addrs = base + lo + np.arange(size, dtype=np.int64)
+            requests.append(StepRequest(op="read", variables=addrs))
+        results = self.backend.run_steps(requests)
+        self.pram_steps += len(requests)
+        for lo, values in zip(range(0, count, P), results):
+            out[lo : lo + len(values)] = values
         return out
 
     @property

@@ -8,7 +8,20 @@ paper's accounting (Eqs. 5-7) and can be produced either by the
 cycle-accurate engine or by the analytic cost model.
 """
 
-from repro.protocol.access import AccessProtocol, AccessResult, StageMetrics
+from repro.protocol.access import (
+    AccessProtocol,
+    AccessResult,
+    StageMetrics,
+    StepError,
+    StepRequest,
+)
 from repro.protocol.stats import SimulationReport
 
-__all__ = ["AccessProtocol", "AccessResult", "SimulationReport", "StageMetrics"]
+__all__ = [
+    "AccessProtocol",
+    "AccessResult",
+    "SimulationReport",
+    "StageMetrics",
+    "StepError",
+    "StepRequest",
+]

@@ -40,7 +40,13 @@ from repro.mesh.packets import PacketBatch
 from repro.mesh.sorting import shearsort_steps
 from repro.util.grouping import rank_within_groups
 
-__all__ = ["AccessProtocol", "AccessResult", "StageMetrics"]
+__all__ = [
+    "AccessProtocol",
+    "AccessResult",
+    "StageMetrics",
+    "StepError",
+    "StepRequest",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,36 @@ class AccessResult:
         return self.culling.charged_steps + self.protocol_steps
 
 
+@dataclass(frozen=True)
+class StepRequest:
+    """One memory step of a batched request stream (:meth:`run_steps`).
+
+    Mirrors the shape of :class:`repro.check.case.StepSpec` (which is
+    accepted directly): ``op`` in {"read", "write", "mixed"};
+    ``values``/``is_write`` align with ``variables`` where applicable.
+    """
+
+    op: str
+    variables: object
+    values: object = None
+    is_write: object = None
+
+
+@dataclass(frozen=True)
+class StepError:
+    """Recorded refusal of one step (``run_steps(on_error="record")``).
+
+    Only consistency-preserving refusals (``RuntimeError``, e.g.
+    unrecoverable variables under faults) are recorded; genuine usage
+    errors always raise.
+    """
+
+    index: int
+    op: str
+    n_requests: int
+    message: str
+
+
 def _max_per_node(nodes: np.ndarray, n: int) -> int:
     if nodes.size == 0:
         return 0
@@ -123,6 +159,11 @@ class AccessProtocol:
         When given, copy selection is restricted to surviving copies
         (extension beyond the paper; consistency is preserved as long as
         every requested variable keeps a target set).
+    reuse : bool, default True
+        Thread CULLING's chain tensor into routing instead of
+        recomputing ``placement.chains`` for the selected copies.
+        Disable only to benchmark the legacy per-step recomputation
+        (selections and metrics are identical either way).
     """
 
     def __init__(
@@ -132,6 +173,7 @@ class AccessProtocol:
         engine: str = "cycle",
         cost_model: CostModel | None = None,
         faults: FaultInjector | None = None,
+        reuse: bool = True,
     ):
         if engine not in ("cycle", "model"):
             raise ValueError(f"engine must be 'cycle' or 'model', got {engine!r}")
@@ -139,6 +181,7 @@ class AccessProtocol:
         self.engine = engine
         self.cost_model = cost_model or CostModel()
         self.faults = faults
+        self.reuse = reuse
         self._sync = SynchronousEngine(scheme.mesh) if engine == "cycle" else None
 
     # -- public API -----------------------------------------------------------
@@ -180,6 +223,81 @@ class AccessProtocol:
             variables, "mixed", values, timestamp=timestamp, is_write=is_write
         )
 
+    def run_steps(
+        self,
+        steps,
+        *,
+        start_timestamp: int = 1,
+        on_error: str = "raise",
+    ) -> list:
+        """Execute a whole request stream through one protocol instance.
+
+        This is the batched step executor: the per-scheme reusable state
+        (materialized incidence tables, the memoized initial target-set
+        row, the threaded culling chain tensor) is amortized over every
+        step, which is what makes long PRAM workloads and sweep
+        campaigns cheap.  Timestamps increment per step starting at
+        ``start_timestamp`` (reads ignore theirs), so a stream replayed
+        here is bit-identical to the same steps issued one by one.
+
+        Parameters
+        ----------
+        steps : iterable
+            :class:`StepRequest`-shaped objects — anything with ``op``,
+            ``variables`` and (where applicable) ``values`` /
+            ``is_write`` attributes, e.g. ``repro.check.case.StepSpec``.
+        start_timestamp : int
+            Timestamp stamped on the first step's writes.
+        on_error : {"raise", "record"}
+            With ``"record"``, a consistency-preserving refusal
+            (``RuntimeError``, e.g. unrecoverable variables under
+            faults) yields a :class:`StepError` entry instead of
+            propagating; the stream continues with the next step.
+
+        Returns
+        -------
+        list of AccessResult or StepError, aligned with ``steps``.
+        """
+        if on_error not in ("raise", "record"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}"
+            )
+        results: list = []
+        for index, step in enumerate(steps):
+            op = step.op
+            variables = step.variables
+            timestamp = start_timestamp + index
+            try:
+                if op == "read":
+                    results.append(self.read(variables))
+                elif op == "write":
+                    results.append(
+                        self.write(variables, step.values, timestamp=timestamp)
+                    )
+                elif op == "mixed":
+                    results.append(
+                        self.mixed(
+                            variables,
+                            step.is_write,
+                            step.values,
+                            timestamp=timestamp,
+                        )
+                    )
+                else:
+                    raise ValueError(f"step {index}: unknown op {op!r}")
+            except RuntimeError as exc:
+                if on_error == "raise":
+                    raise
+                results.append(
+                    StepError(
+                        index=index,
+                        op=op,
+                        n_requests=len(variables),
+                        message=str(exc),
+                    )
+                )
+        return results
+
     # -- internals --------------------------------------------------------------
 
     def _execute(
@@ -198,20 +316,37 @@ class AccessProtocol:
                 raise ValueError("is_write must align with variables")
 
         if self.faults is not None and self.faults.failed_nodes.size:
+            full_chains = None
+            if self.reuse:
+                # One full-grid chain derivation shared by the
+                # availability mask and fault-aware CULLING (which would
+                # otherwise each derive it independently).
+                red = params.redundancy
+                v_grid = np.repeat(variables, red)
+                p_grid = np.tile(np.arange(red, dtype=np.int64), variables.size)
+                full_chains = scheme.placement.chains(v_grid, p_grid).reshape(
+                    variables.size, red, params.k
+                )
             culling_res: CullingResult = cull_with_faults(
                 scheme,
                 variables,
-                self.faults.allowed_mask(variables),
+                self.faults.allowed_mask(variables, chains=full_chains),
                 cost_model=self.cost_model,
+                chains=full_chains,
             )
         else:
             culling_res = cull(scheme, variables, cost_model=self.cost_model)
         sel = culling_res.selected
 
-        # One packet per selected copy.
+        # One packet per selected copy.  CULLING already derived the
+        # full (N, q^k, k) chain tensor — slice the selected rows out of
+        # it rather than recomputing placement.chains per step.
         rows, pkt_paths = np.nonzero(sel)
         pkt_vars = variables[rows]
-        chains = scheme.placement.chains(pkt_vars, pkt_paths)
+        if self.reuse and culling_res.chains is not None:
+            chains = culling_res.chains[rows, pkt_paths]
+        else:
+            chains = scheme.placement.chains(pkt_vars, pkt_paths)
         copy_nodes = scheme.placement.copy_nodes(pkt_vars, pkt_paths, chains)
 
         # Origins: requester j sits at mesh node j (any fixed bijection

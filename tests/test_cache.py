@@ -1,0 +1,206 @@
+"""Correctness of the HMOS artifact cache (:mod:`repro.cache`).
+
+The cache must be *transparent*: a cache-backed scheme has to be
+indistinguishable from a freshly built one on every observable —
+placement chains, copy locations, page keys, culling selections, full
+protocol results, and differential-oracle verdicts — while stale or
+corrupt disk artifacts degrade to a rebuild, never to wrong answers.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CACHE_VERSION,
+    ArtifactCache,
+    default_cache,
+    reset_default_cache,
+)
+from repro.check.generate import random_cases
+from repro.check.oracle import run_case
+from repro.cli import main as cli_main
+from repro.culling import cull
+from repro.hmos.scheme import HMOS
+from repro.protocol.access import AccessProtocol
+
+CFG = dict(n=64, alpha=1.5, q=3, k=2)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(tmp_path)
+
+
+def _full_grid(scheme):
+    red = scheme.params.redundancy
+    variables = np.arange(
+        min(scheme.num_variables, scheme.params.n), dtype=np.int64
+    )
+    v = np.repeat(variables, red)
+    p = np.tile(np.arange(red, dtype=np.int64), variables.size)
+    return variables, v, p
+
+
+def test_cached_scheme_matches_fresh(cache):
+    for curve in ("morton", "hilbert"):
+        cached = cache.scheme(curve=curve, **CFG)
+        fresh = HMOS(CFG["n"], CFG["alpha"], CFG["q"], CFG["k"], curve=curve)
+        variables, v, p = _full_grid(cached)
+        np.testing.assert_array_equal(
+            cached.placement.chains(v, p), fresh.placement.chains(v, p)
+        )
+        np.testing.assert_array_equal(
+            cached.copy_nodes(v, p), fresh.copy_nodes(v, p)
+        )
+        for level in range(1, CFG["k"] + 1):
+            np.testing.assert_array_equal(
+                cached.page_keys(level, v, p), fresh.page_keys(level, v, p)
+            )
+        np.testing.assert_array_equal(
+            cached.initial_target_masks(variables.size),
+            fresh.initial_target_masks(variables.size),
+        )
+        a = cull(cached, variables)
+        b = cull(fresh, variables)
+        np.testing.assert_array_equal(a.selected, b.selected)
+        assert a.iterations == b.iterations
+        assert a.charged_steps == b.charged_steps
+
+
+def test_cached_protocol_results_match_fresh(cache):
+    cached = AccessProtocol(cache.scheme(**CFG), engine="model")
+    fresh = AccessProtocol(
+        HMOS(CFG["n"], CFG["alpha"], CFG["q"], CFG["k"]), engine="model"
+    )
+    rng = np.random.default_rng(2)
+    variables = rng.choice(cached.scheme.num_variables, size=40, replace=False)
+    values = rng.integers(0, 1000, size=40)
+    w1 = cached.write(variables, values, timestamp=1)
+    w2 = fresh.write(variables, values, timestamp=1)
+    assert w1.stages == w2.stages
+    np.testing.assert_array_equal(w1.culling.selected, w2.culling.selected)
+    r1 = cached.read(variables)
+    r2 = fresh.read(variables)
+    np.testing.assert_array_equal(r1.values, r2.values)
+    assert r1.culling.charged_steps == r2.culling.charged_steps
+
+
+def test_oracle_verdicts_identical_on_cached_stack(tmp_path, monkeypatch):
+    """The differential oracle (cached cycle side vs arithmetic model
+    side) accepts a sample campaign end to end: cached and uncached
+    paths produce identical selections, stage metrics, and step counts
+    on every case, or run_case would raise."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_default_cache()
+    try:
+        for case in random_cases(seed=3, count=8):
+            run_case(case)
+    finally:
+        reset_default_cache()
+
+
+def test_memory_and_disk_hit_accounting(tmp_path):
+    first = ArtifactCache(tmp_path)
+    first.scheme(**CFG)
+    assert first.stats.builds > 0
+    first.scheme(**CFG)
+    assert first.stats.memory_hits >= 1
+
+    second = ArtifactCache(tmp_path)  # same dir, cold memory
+    second.scheme(**CFG)
+    assert second.stats.disk_hits > 0
+    assert second.stats.builds == 0
+
+
+def test_cached_instances_do_not_share_memory(cache):
+    a = cache.scheme(**CFG)
+    b = cache.scheme(**CFG)
+    assert a.memory is not b.memory
+    assert a.placement is b.placement  # immutable skeleton is shared
+    pa = AccessProtocol(a, engine="model")
+    pb = AccessProtocol(b, engine="model")
+    variables = np.arange(10, dtype=np.int64)
+    pa.write(variables, np.full(10, 7), timestamp=1)
+    np.testing.assert_array_equal(pb.read(variables).values, np.zeros(10))
+    np.testing.assert_array_equal(pa.read(variables).values, np.full(10, 7))
+
+
+def test_stale_version_is_rebuilt_and_overwritten(tmp_path):
+    warm = ArtifactCache(tmp_path)
+    warm.scheme(**CFG)
+    for path in warm.disk_entries():
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["version"] = np.array([CACHE_VERSION + 999], dtype=np.int64)
+        np.savez(path, **arrays)
+
+    cold = ArtifactCache(tmp_path)
+    cold.scheme(**CFG)
+    assert cold.stats.disk_stale > 0
+    assert cold.stats.builds > 0
+    # The rebuilt artifacts are valid again for the next reader.
+    third = ArtifactCache(tmp_path)
+    third.scheme(**CFG)
+    assert third.stats.disk_stale == 0
+    assert third.stats.disk_hits > 0
+
+
+def test_corrupt_artifact_is_rebuilt(tmp_path):
+    warm = ArtifactCache(tmp_path)
+    warm.scheme(**CFG)
+    victim = warm.disk_entries()[0]
+    victim.write_bytes(b"not an npz file")
+
+    cold = ArtifactCache(tmp_path)
+    scheme = cold.scheme(**CFG)
+    assert cold.stats.disk_stale >= 1
+    fresh = HMOS(CFG["n"], CFG["alpha"], CFG["q"], CFG["k"])
+    _, v, p = _full_grid(scheme)
+    np.testing.assert_array_equal(scheme.copy_nodes(v, p), fresh.copy_nodes(v, p))
+
+
+def test_concurrent_readers_share_one_cache(cache):
+    def build(_):
+        scheme = cache.scheme(**CFG)
+        variables = np.arange(25, dtype=np.int64)
+        return cull(scheme, variables).selected
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(build, range(8)))
+    for selected in results[1:]:
+        np.testing.assert_array_equal(selected, results[0])
+
+
+def test_clear_and_persist_flag(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.scheme(**CFG)
+    assert cache.disk_entries()
+    removed = cache.clear(disk=True)
+    assert removed > 0
+    assert not cache.disk_entries()
+    assert cache.stats.builds > 0  # counters survive a clear
+
+    volatile = ArtifactCache(tmp_path / "never", persist=False)
+    volatile.scheme(**CFG)
+    assert not (tmp_path / "never").exists()
+
+
+def test_default_cache_honors_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envdir"))
+    reset_default_cache()
+    try:
+        assert default_cache().cache_dir == tmp_path / "envdir"
+    finally:
+        reset_default_cache()
+
+
+def test_cli_cache_stats_and_clear(tmp_path, capsys):
+    ArtifactCache(tmp_path).subgraph(3, 3, 81)
+    assert cli_main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "subgraph_q3_d3_m81" in out
+    assert cli_main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert not ArtifactCache(tmp_path).disk_entries()
