@@ -47,6 +47,7 @@ from repro.hmos.params import HMOSParams
 from repro.hmos.placement import Placement
 from repro.hmos.scheme import HMOS
 from repro.mesh.topology import Mesh
+from repro.obs import tracer as _obs
 
 __all__ = [
     "CACHE_VERSION",
@@ -122,6 +123,13 @@ class ArtifactCache:
         self._subgraphs: dict[tuple, BalancedSubgraph] = {}
         self._schemes: dict[tuple, _SchemeParts] = {}
 
+    def _tally(self, field: str) -> None:
+        """Bump one :class:`CacheStats` counter, mirrored to the tracer."""
+        setattr(self.stats, field, getattr(self.stats, field) + 1)
+        tracer = _obs.current()
+        if tracer.enabled:
+            tracer.count(f"cache.{field}")
+
     # -- keys and files -----------------------------------------------------
 
     @property
@@ -165,15 +173,24 @@ class ArtifactCache:
         try:
             with np.load(path, allow_pickle=False) as data:
                 if int(data["version"][0]) != CACHE_VERSION:
-                    self.stats.disk_stale += 1
+                    self._tally("disk_stale")
                     return None
-                return {name: np.ascontiguousarray(data[name]) for name in names}
+                loaded = {
+                    name: np.ascontiguousarray(data[name]) for name in names
+                }
+                tracer = _obs.current()
+                if tracer.enabled:
+                    tracer.count(
+                        "cache.load_bytes",
+                        int(sum(a.nbytes for a in loaded.values())),
+                    )
+                return loaded
         except FileNotFoundError:
             return None
         except Exception:
             # Partial/corrupt artifact (e.g. interrupted writer on a
             # filesystem without atomic replace): rebuild and overwrite.
-            self.stats.disk_stale += 1
+            self._tally("disk_stale")
             return None
 
     # -- subgraph artifacts -------------------------------------------------
@@ -183,18 +200,18 @@ class ArtifactCache:
         key = (int(q), int(d), int(m))
         hit = self._subgraphs.get(key)
         if hit is not None:
-            self.stats.memory_hits += 1
+            self._tally("memory_hits")
             return hit
-        self.stats.memory_misses += 1
+        self._tally("memory_misses")
         graph = BalancedSubgraph(*key)
         path = self._subgraph_path(*key)
         loaded = self._read(path, ("nbr", "rank", "outdeg"))
         if loaded is not None:
-            self.stats.disk_hits += 1
+            self._tally("disk_hits")
             graph.attach_tables(loaded["nbr"], loaded["rank"], loaded["outdeg"])
         else:
-            self.stats.disk_misses += 1
-            self.stats.builds += 1
+            self._tally("disk_misses")
+            self._tally("builds")
             nbr, rank, outdeg = graph.tables()
             if self.persist:
                 self._write_atomic(
@@ -218,11 +235,11 @@ class ArtifactCache:
         key = (int(n), float(alpha), int(q), int(k), str(curve))
         parts = self._schemes.get(key)
         if parts is not None:
-            self.stats.memory_hits += 1
+            self._tally("memory_hits")
             return HMOS._from_parts(
                 parts.params, parts.mesh, parts.placement, parts.initial_row
             )
-        self.stats.memory_misses += 1
+        self._tally("memory_misses")
         params = HMOSParams(n=n, alpha=alpha, q=q, k=k)
         mesh = Mesh(params.side, curve=curve)
         graphs = [
@@ -233,11 +250,11 @@ class ArtifactCache:
         path = self._scheme_path(*key)
         loaded = self._read(path, ("initial_row",))
         if loaded is not None:
-            self.stats.disk_hits += 1
+            self._tally("disk_hits")
             initial_row = loaded["initial_row"].astype(bool)
         else:
-            self.stats.disk_misses += 1
-            self.stats.builds += 1
+            self._tally("disk_misses")
+            self._tally("builds")
             probe = HMOS._from_parts(params, mesh, placement)
             initial_row = probe.initial_target_masks(1).astype(bool)
             if self.persist:

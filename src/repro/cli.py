@@ -11,6 +11,8 @@ Commands
 ``check``    differential verification: fuzz the stack against the PRAM
              oracle, or replay a recorded divergence artifact
 ``cache``    inspect or clear the on-disk HMOS artifact cache
+``trace``    record a traced workload, summarize a trace file, or diff
+             two traces to localize per-stage step regressions
 """
 
 from __future__ import annotations
@@ -192,6 +194,66 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _trace_workload(scheme, args):
+    """The recorded request stream: one write step, then reads."""
+    from repro.protocol.access import StepRequest
+
+    if args.workload == "adversarial":
+        variables = module_collision_requests(scheme, args.n)
+    else:
+        variables = np.unique(
+            (np.arange(args.n, dtype=np.int64) * 7919) % scheme.num_variables
+        )[: args.n]
+    steps = [StepRequest("write", variables, variables)]
+    steps.extend(StepRequest("read", variables) for _ in range(args.steps - 1))
+    return steps
+
+
+def _cmd_trace(args) -> int:
+    import repro.obs as obs
+
+    if args.trace_command == "run":
+        from repro.protocol import SimulationReport
+
+        scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
+        proto = AccessProtocol(scheme, engine=args.engine)
+        steps = _trace_workload(scheme, args)
+        with obs.capture() as tracer:
+            results = proto.run_steps(steps)
+        out = obs.write_jsonl(tracer, args.out)
+        print(f"trace: {len(tracer.events)} events -> {out}")
+        if args.perfetto:
+            chrome = obs.write_chrome_trace(tracer, args.perfetto)
+            print(f"perfetto: open {chrome} at https://ui.perfetto.dev")
+        print()
+        print(obs.stage_table(tracer.events))
+        report = SimulationReport()
+        report.extend(results)
+        trace_bd = obs.stage_breakdown(tracer.events)
+        report_bd = report.breakdown()
+        agree = all(
+            trace_bd[key] == report_bd[key] for key in report_bd
+        )
+        print(
+            f"\nper-stage totals vs SimulationReport.breakdown(): "
+            f"{'agree' if agree else 'DISAGREE'}"
+        )
+        return 0 if agree else 1
+    if args.trace_command == "summarize":
+        header, events = obs.read_jsonl(args.trace)
+        print(obs.summary_text(header, events))
+        return 0
+    # diff
+    _, events_a = obs.read_jsonl(args.a)
+    _, events_b = obs.read_jsonl(args.b)
+    from pathlib import Path as _P
+
+    print(obs.diff_table(
+        events_a, events_b, label_a=_P(args.a).stem, label_b=_P(args.b).stem
+    ))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.cache import ArtifactCache
 
@@ -273,6 +335,35 @@ def build_parser() -> argparse.ArgumentParser:
     pr = check_sub.add_parser("replay", help="re-execute a repro artifact")
     pr.add_argument("artifact", help="path to a divergence_*.json artifact")
     pr.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "trace", help="record, summarize, or diff observability traces"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    pt = trace_sub.add_parser(
+        "run", help="record one run_steps workload to a trace file"
+    )
+    _add_scheme_args(pt)
+    pt.add_argument("--engine", choices=["cycle", "model"], default="cycle")
+    pt.add_argument("--workload", choices=["uniform", "adversarial"],
+                    default="uniform")
+    pt.add_argument("--steps", type=int, default=3,
+                    help="memory steps to record (1 write + N-1 reads)")
+    pt.add_argument("--out", default="trace.jsonl",
+                    help="JSONL trace output path")
+    pt.add_argument("--perfetto", default=None, metavar="PATH",
+                    help="also export a Chrome trace-event JSON "
+                    "(loadable in Perfetto / chrome://tracing)")
+    pt.set_defaults(fn=_cmd_trace)
+    pt = trace_sub.add_parser("summarize", help="per-stage table from a trace")
+    pt.add_argument("trace", help="path to a .jsonl trace")
+    pt.set_defaults(fn=_cmd_trace)
+    pt = trace_sub.add_parser(
+        "diff", help="localize step-count deltas between two traces"
+    )
+    pt.add_argument("a", help="baseline trace (.jsonl)")
+    pt.add_argument("b", help="comparison trace (.jsonl)")
+    pt.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("cache", help="inspect or clear the HMOS artifact cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

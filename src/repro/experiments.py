@@ -114,7 +114,13 @@ def run(
                 raise KeyError(f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}")
             targets.append(str(bench_dir / EXPERIMENTS[key].bench))
     else:
-        targets.append(str(bench_dir))
+        # One target per registered experiment (not the whole directory):
+        # the full-suite invocation previously collapsed to a single
+        # benchmarks/ target, so ``--workers N`` never had anything to
+        # fan out and silently ran sequentially.
+        targets.extend(
+            str(bench_dir / info.bench) for info in EXPERIMENTS.values()
+        )
     base = ["--benchmark-only", "-q", "-s", *(extra_args or [])]
     if workers > 1 and len(targets) > 1:
         from repro.parallel import run_commands

@@ -35,6 +35,7 @@ import numpy as np
 from repro.mesh.engine_core import SteppingCore
 from repro.mesh.packets import PacketBatch
 from repro.mesh.topology import Mesh
+from repro.obs import tracer as _obs
 
 __all__ = ["RouteResult", "SynchronousEngine"]
 
@@ -71,6 +72,27 @@ class RouteResult:
     total_hops: int
     max_queue: int
     node_traffic: np.ndarray = field(default_factory=_no_traffic)
+
+
+class _OccupancyHistogram:
+    """Accumulates ``hist[occ] += #nodes`` over every sampled step.
+
+    Bin ``i`` counts (node, step) pairs whose in-transit queue length
+    was exactly ``i``; fed by the core's per-step ``occupancy`` hook.
+    """
+
+    __slots__ = ("bins",)
+
+    def __init__(self):
+        self.bins = np.zeros(0, dtype=np.int64)
+
+    def __call__(self, occ: np.ndarray) -> None:
+        step_bins = np.bincount(occ)
+        if step_bins.size > self.bins.size:
+            grown = np.zeros(step_bins.size, dtype=np.int64)
+            grown[: self.bins.size] = self.bins
+            self.bins = grown
+        self.bins[: step_bins.size] += step_bins
 
 
 class SynchronousEngine:
@@ -127,10 +149,47 @@ class SynchronousEngine:
         -------
         list[RouteResult] aligned with ``batches``.
         """
-        results = self._core.run(
-            [(b.src, b.dst) for b in batches], max_steps=max_steps
-        )
-        return [
-            RouteResult(r.steps, r.total_hops, r.max_queue, r.node_traffic)
-            for r in results
-        ]
+        tracer = _obs.current()
+        if not tracer.enabled:
+            results = self._core.run(
+                [(b.src, b.dst) for b in batches], max_steps=max_steps
+            )
+            return [
+                RouteResult(r.steps, r.total_hops, r.max_queue, r.node_traffic)
+                for r in results
+            ]
+        return self._route_many_traced(batches, max_steps, tracer)
+
+    def _route_many_traced(self, batches, max_steps, tracer) -> list[RouteResult]:
+        """The tracing path of :meth:`route_many`.
+
+        Per-call counters (steps, delivered packets, hops) plus a
+        per-step in-transit queue-occupancy histogram sampled through
+        the core's ``occupancy`` hook — the stepping loop itself stays
+        the vectorized core; the only addition is one ``np.bincount``
+        over the occupancy vector per step, and only while a tracer is
+        installed.
+        """
+        pairs = [(b.src, b.dst) for b in batches]
+        packets = int(sum(len(src) for src, _ in pairs))
+        hist = _OccupancyHistogram()
+        with tracer.span(
+            "engine.route_many", batches=len(pairs), packets=packets
+        ) as span:
+            results = self._core.run(pairs, max_steps=max_steps, occupancy=hist)
+            out = [
+                RouteResult(r.steps, r.total_hops, r.max_queue, r.node_traffic)
+                for r in results
+            ]
+            span.set(
+                steps=[r.steps for r in out],
+                max_in_transit=max((r.max_queue for r in out), default=0),
+            )
+        tracer.count("engine.route_many_calls")
+        tracer.count("engine.batches", len(pairs))
+        tracer.count("engine.delivered_packets", packets)
+        tracer.count("engine.steps", sum(r.steps for r in out))
+        tracer.count("engine.total_hops", sum(r.total_hops for r in out))
+        if hist.bins.size:
+            tracer.histogram("engine.queue_occupancy", hist.bins)
+        return out

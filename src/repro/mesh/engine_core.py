@@ -130,6 +130,7 @@ class SteppingCore:
         *,
         max_steps=None,
         observer=None,
+        occupancy=None,
     ) -> list[CoreResult]:
         """Advance every batch to completion in one stepping loop.
 
@@ -146,6 +147,12 @@ class SteppingCore:
             copies (step, starts, counts, node, direction, remaining,
             pri, winners) — the hook the invariant checker uses.  The
             hot loop pays nothing when it is None.
+        occupancy : callable, optional
+            Called once per step with the in-transit per-node occupancy
+            vector (length ``nbatches * n``, the same array the
+            ``max_queue`` sampling reads) — the observability layer's
+            queue-histogram hook.  Like ``observer``, a ``None`` costs
+            the loop a single predictable branch per step.
 
         Returns
         -------
@@ -252,6 +259,8 @@ class SteppingCore:
             # step (covers the initial placement at step 0); parked
             # packets sit at `park`, beyond the counted slots.
             occ = np.bincount(g, minlength=nb * n)[: nb * n]
+            if occupancy is not None:
+                occupancy(occ)
             if nb == 1:
                 q = int(occ.max())
                 if q > maxq[0]:

@@ -1,0 +1,64 @@
+"""Observability layer: stage spans, engine counters, trace export.
+
+The paper's claims are statements about *where mesh steps go* — the
+per-stage routing/sorting cost of Theorem 2, the CULLING congestion of
+Theorem 3, the staged ``k+1..1`` protocol structure.  This package makes
+those quantities observable per run instead of only as post-hoc
+aggregates: a :class:`~repro.obs.tracer.Tracer` collects nested
+wall-time spans, typed counters/histograms, and *lane* spans measured in
+mesh steps (so the protocol's stage structure renders proportionally to
+its charged cost); sinks serialize a recorded trace to a JSONL event
+stream and to the Chrome trace-event format that ``chrome://tracing``
+and Perfetto load directly; :mod:`~repro.obs.summary` turns traces back
+into per-stage tables and localizes regressions between two traces.
+
+The contract that keeps the hot paths hot: the module-level default is
+:data:`~repro.obs.tracer.NULL_TRACER`, whose every method is a no-op and
+whose ``enabled`` flag lets instrumentation sites skip argument
+construction entirely.  Enabling costs one :func:`install` (or a
+``with capture() as tracer:`` block); disabled-mode overhead is budgeted
+at < 3% on the engine benchmark and asserted in CI
+(``benchmarks/test_perf_obs.py``).
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    capture,
+    current,
+    install,
+)
+from repro.obs.sinks import (
+    TRACE_FORMAT,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.summary import (
+    diff_table,
+    diff_traces,
+    lane_totals,
+    stage_breakdown,
+    stage_table,
+    summary_text,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACE_FORMAT",
+    "Tracer",
+    "capture",
+    "current",
+    "diff_table",
+    "diff_traces",
+    "install",
+    "lane_totals",
+    "read_jsonl",
+    "stage_breakdown",
+    "stage_table",
+    "summary_text",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,183 @@
+"""Trace analytics: per-stage breakdowns and trace-vs-trace diffs.
+
+Works on the event lists produced by :class:`~repro.obs.tracer.Tracer`
+or loaded by :func:`~repro.obs.sinks.read_jsonl`.  The mesh lane is the
+ground truth: every charged phase of the access protocol is one lane
+span whose ``dur`` *is* its mesh-step cost, so
+
+* :func:`stage_breakdown` recovers exactly the four-way
+  culling/sorting/routing/return split of
+  :meth:`repro.protocol.stats.SimulationReport.breakdown` from a trace
+  alone (asserted in ``tests/test_obs.py``), and
+* :func:`diff_traces` localizes a step-count regression between two
+  runs to the specific stages it came from, because per-phase totals
+  subtract cleanly.
+
+Rollup spans (``args: {"rollup": true}``, e.g. the enclosing
+``protocol.access`` span) are presentation-only and excluded from every
+aggregate so nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.tables import format_table
+
+__all__ = [
+    "diff_table",
+    "diff_traces",
+    "lane_totals",
+    "stage_breakdown",
+    "stage_table",
+    "summary_text",
+]
+
+_STAGE_RE = re.compile(r"^stage\[(\d+)\]\.(sort|route)$")
+
+
+def _lane_spans(events, lane: str = "mesh"):
+    for ev in events:
+        if (
+            ev.get("type") == "span"
+            and ev.get("lane") == lane
+            and not ev.get("args", {}).get("rollup")
+        ):
+            yield ev
+
+
+def lane_totals(events, lane: str = "mesh") -> dict[str, float]:
+    """Total mesh steps per span name (rollup spans excluded)."""
+    totals: dict[str, float] = {}
+    for ev in _lane_spans(events, lane):
+        totals[ev["name"]] = totals.get(ev["name"], 0.0) + float(ev["dur"])
+    return totals
+
+
+def stage_breakdown(events) -> dict[str, float]:
+    """Culling/sorting/routing/return split, matching
+    :meth:`SimulationReport.breakdown` for the traced run."""
+    out = {"culling": 0.0, "sorting": 0.0, "routing": 0.0, "return": 0.0}
+    for ev in _lane_spans(events):
+        name = ev["name"]
+        dur = float(ev["dur"])
+        if name == "protocol.culling":
+            out["culling"] += dur
+        elif name == "protocol.return":
+            out["return"] += dur
+        else:
+            m = _STAGE_RE.match(name)
+            if m:
+                out["sorting" if m.group(2) == "sort" else "routing"] += dur
+    return out
+
+
+def stage_table(events) -> str:
+    """Per-stage table (sort/route steps, worst loads) from one trace."""
+    stages: dict[int, dict] = {}
+    culling = 0.0
+    ret = 0.0
+    for ev in _lane_spans(events):
+        name = ev["name"]
+        dur = float(ev["dur"])
+        args = ev.get("args", {})
+        if name == "protocol.culling":
+            culling += dur
+            continue
+        if name == "protocol.return":
+            ret += dur
+            continue
+        m = _STAGE_RE.match(name)
+        if not m:
+            continue
+        stage = int(m.group(1))
+        row = stages.setdefault(
+            stage,
+            {"sort": 0.0, "route": 0.0, "delta_in": 0, "delta_out": 0, "t_nodes": 0},
+        )
+        row[m.group(2)] += dur
+        for key in ("delta_in", "delta_out", "t_nodes"):
+            if key in args:
+                row[key] = max(row[key], int(args[key]))
+    rows = [
+        [
+            f"stage {stage}",
+            stages[stage]["t_nodes"],
+            stages[stage]["delta_in"],
+            stages[stage]["delta_out"],
+            f"{stages[stage]['sort']:.0f}",
+            f"{stages[stage]['route']:.0f}",
+        ]
+        for stage in sorted(stages, reverse=True)
+    ]
+    rows.append(["return", "-", "-", "-", "-", f"{ret:.0f}"])
+    rows.append(["culling", "-", "-", "-", "-", f"{culling:.0f}"])
+    return format_table(
+        ["phase", "t_i", "delta_in", "delta_out", "sort", "route"],
+        rows,
+        title="Per-stage mesh-step totals (from trace)",
+    )
+
+
+def summary_text(header: dict, events) -> str:
+    """Human-readable ``repro trace summarize`` payload."""
+    bd = stage_breakdown(events)
+    total = sum(bd.values())
+    lines = [stage_table(events), ""]
+    if total:
+        shares = ", ".join(
+            f"{name} {100 * v / total:.0f}%" for name, v in bd.items()
+        )
+        lines.append(f"total mesh steps: {total:.0f}  ({shares})")
+    else:
+        lines.append("total mesh steps: 0 (no mesh steps charged)")
+    counters = header.get("counters") or {}
+    if counters:
+        lines.append(
+            "counters: "
+            + ", ".join(f"{k}={counters[k]:g}" for k in sorted(counters))
+        )
+    hists = header.get("histograms") or {}
+    for name in sorted(hists):
+        bins = hists[name]
+        nonzero = [(i, c) for i, c in enumerate(bins) if c and i > 0]
+        if nonzero:
+            tail = max(i for i, _ in nonzero)
+            lines.append(f"{name}: occupancy 1..{tail}, samples "
+                         + " ".join(f"{i}:{c}" for i, c in nonzero[:12]))
+    return "\n".join(lines)
+
+
+def diff_traces(events_a, events_b) -> list[tuple[str, float, float, float]]:
+    """Per-phase ``(name, steps_a, steps_b, delta)`` rows, largest
+    absolute delta first — the regression localizer."""
+    ta = lane_totals(events_a)
+    tb = lane_totals(events_b)
+    rows = []
+    for name in sorted(set(ta) | set(tb)):
+        a = ta.get(name, 0.0)
+        b = tb.get(name, 0.0)
+        if a == 0.0 and b == 0.0:
+            continue
+        rows.append((name, a, b, b - a))
+    rows.sort(key=lambda r: (-abs(r[3]), r[0]))
+    return rows
+
+
+def diff_table(events_a, events_b, *, label_a: str = "A", label_b: str = "B") -> str:
+    """Formatted ``repro trace diff`` output."""
+    rows = diff_traces(events_a, events_b)
+    total_a = sum(r[1] for r in rows)
+    total_b = sum(r[2] for r in rows)
+    body = [
+        [name, f"{a:.0f}", f"{b:.0f}", f"{delta:+.0f}"]
+        for name, a, b, delta in rows
+    ]
+    body.append(
+        ["TOTAL", f"{total_a:.0f}", f"{total_b:.0f}", f"{total_b - total_a:+.0f}"]
+    )
+    return format_table(
+        ["phase", label_a, label_b, "delta"],
+        body,
+        title="Per-phase mesh-step delta (largest first)",
+    )

@@ -1,0 +1,294 @@
+"""Span/counter tracer with a zero-overhead disabled path.
+
+Event model (plain dicts, JSON-serializable as-is):
+
+* **wall spans** — ``{"type": "span", "name", "ts", "dur", "tid",
+  "args"}`` with ``ts``/``dur`` in microseconds of wall time since the
+  tracer's epoch; recorded on span exit, so the event list is ordered by
+  *end* time.  ``tid`` is the worker id (see below) so events from
+  concurrent sweeps interleave correctly in a merged timeline.
+* **lane spans** — ``{"type": "span", "name", "ts", "dur", "lane",
+  "args"}``: synthetic spans on a named sequential track whose unit is
+  *mesh steps*, not wall time.  Each lane keeps a cursor; emitting a
+  span places it at the cursor and advances by ``dur``.  The access
+  protocol uses lane ``"mesh"`` so a trace renders the ``k+1..1`` stage
+  structure proportionally to its charged cost, and so per-stage step
+  totals can be recovered exactly from the trace.
+* **counter samples** — ``{"type": "counter", "name", "ts", "tid",
+  "value"}`` carrying the *cumulative* total at sample time (the Chrome
+  ``"C"`` phase convention, so Perfetto draws a monotone curve).
+
+Counters additionally accumulate into :attr:`Tracer.counters` and
+histograms into :attr:`Tracer.histograms` (integer-bin occupancy
+tallies), both available without parsing the event stream.
+
+The disabled path: instrumented code calls :func:`current` and checks
+``tracer.enabled`` — one module-global load plus one attribute read.
+:data:`NULL_TRACER` is installed by default and every method of
+:class:`NullTracer` is a no-op returning shared singletons, so no
+arguments need building and no allocation happens when tracing is off.
+
+Thread safety: a single lock guards event append and counter/histogram
+accumulation — ``run_commands`` fans subprocess spans out on threads
+into one shared tracer.  Worker id resolution: an explicit ``worker=``
+argument, else ``$REPRO_OBS_WORKER`` (set by the process-pool
+bootstrap), else 0.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "capture",
+    "current",
+    "install",
+]
+
+
+class _NullSpan:
+    """Shared no-op span; ``set`` swallows attribute updates."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumentation may freely call any :class:`Tracer` method on it;
+    hot paths should branch on :attr:`enabled` first to skip building
+    span arguments at all.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def lane_span(
+        self, lane: str, name: str, dur: float, *, at: float | None = None, **args
+    ) -> None:
+        pass
+
+    def lane_cursor(self, lane: str) -> float:
+        return 0.0
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def histogram(self, name: str, bincounts) -> None:
+        pass
+
+    @property
+    def events(self) -> list:
+        return []
+
+    @property
+    def counters(self) -> dict:
+        return {}
+
+    @property
+    def histograms(self) -> dict:
+        return {}
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager recording one wall-time span on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._t0 = 0.0
+
+    def set(self, **args) -> None:
+        """Attach/overwrite span attributes (visible in the exported trace)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer._now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = self._tracer._now()
+        self._tracer._record(
+            {
+                "type": "span",
+                "name": self.name,
+                "ts": self._t0,
+                "dur": t1 - self._t0,
+                "tid": self._tracer.worker,
+                "args": self.args,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans, counters and histograms for one recorded run."""
+
+    enabled = True
+
+    def __init__(self, *, worker: int | None = None):
+        if worker is None:
+            worker = int(os.environ.get("REPRO_OBS_WORKER", "0") or 0)
+        self.pid = os.getpid()
+        self.worker = worker
+        self._epoch = time.perf_counter()
+        self._events: list[dict] = []
+        self._counters: dict[str, float] = {}
+        self._hists: dict[str, np.ndarray] = {}
+        self._lanes: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def _now(self) -> float:
+        """Microseconds since the tracer epoch."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _record(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def span(self, name: str, **args) -> _Span:
+        """A nested wall-time span (use as a context manager)."""
+        return _Span(self, name, args)
+
+    def lane_span(
+        self, lane: str, name: str, dur: float, *, at: float | None = None, **args
+    ) -> None:
+        """Append a span of ``dur`` mesh steps to the named sequential lane.
+
+        By default the span is placed at the lane cursor, which then
+        advances by ``dur``.  With ``at=ts`` the span is placed
+        explicitly and the cursor is left alone — that is how enclosing
+        rollup spans (e.g. one ``protocol.access`` covering its stage
+        children) are emitted after their children without
+        double-advancing the lane.
+        """
+        dur = float(dur)
+        with self._lock:
+            if at is None:
+                ts = self._lanes.get(lane, 0.0)
+                self._lanes[lane] = ts + dur
+            else:
+                ts = float(at)
+            self._events.append(
+                {
+                    "type": "span",
+                    "name": name,
+                    "ts": ts,
+                    "dur": dur,
+                    "lane": lane,
+                    "args": args,
+                }
+            )
+
+    def lane_cursor(self, lane: str) -> float:
+        """Current position (total mesh steps emitted) of a lane."""
+        with self._lock:
+            return self._lanes.get(lane, 0.0)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a cumulative counter and sample it as an event."""
+        ts = self._now()
+        with self._lock:
+            total = self._counters.get(name, 0) + value
+            self._counters[name] = total
+            self._events.append(
+                {
+                    "type": "counter",
+                    "name": name,
+                    "ts": ts,
+                    "tid": self.worker,
+                    "value": total,
+                }
+            )
+
+    def histogram(self, name: str, bincounts) -> None:
+        """Merge integer-bin tallies (``bincounts[i]`` = observations of i)."""
+        bincounts = np.asarray(bincounts, dtype=np.int64)
+        with self._lock:
+            cur = self._hists.get(name)
+            if cur is None:
+                self._hists[name] = bincounts.copy()
+            elif cur.size >= bincounts.size:
+                cur[: bincounts.size] += bincounts
+            else:
+                grown = bincounts.copy()
+                grown[: cur.size] += cur
+                self._hists[name] = grown
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> dict[str, np.ndarray]:
+        return {k: v.copy() for k, v in self._hists.items()}
+
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def current() -> Tracer | NullTracer:
+    """The installed tracer (the shared :data:`NULL_TRACER` by default)."""
+    return _active
+
+
+def install(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def capture(**kwargs):
+    """Record everything inside the block into a fresh :class:`Tracer`.
+
+    ::
+
+        with obs.capture() as tracer:
+            protocol.run_steps(steps)
+        write_jsonl(tracer, "run.trace.jsonl")
+    """
+    tracer = Tracer(**kwargs)
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)

@@ -11,6 +11,13 @@ environments and debuggers on the exact same code path.
 ``run_commands`` covers the other sweep shape: independent *subprocess*
 invocations (the per-experiment pytest runs of ``repro experiments``),
 fanned out on threads since the children are processes already.
+
+Observability: each pool worker receives a distinct small worker id via
+``$REPRO_OBS_WORKER`` (consumed by any :class:`repro.obs.Tracer` the
+worker creates, so merged sweep timelines interleave by worker instead
+of collapsing onto one track), and ``run_commands`` records one
+``parallel.command`` span per child tagged with the executing thread —
+the fan-out structure is visible in a recorded trace.
 """
 
 from __future__ import annotations
@@ -18,15 +25,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 import subprocess
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.obs import tracer as _obs
 
 __all__ = ["parallel_map", "run_commands"]
 
 
-def _init_worker(cache_dir: str | None) -> None:
-    """Worker bootstrap: share the parent's artifact-cache directory."""
+def _init_worker(cache_dir: str | None, worker_ids=None) -> None:
+    """Worker bootstrap: shared artifact-cache dir + distinct worker id."""
     if cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
+    if worker_ids is not None:
+        with worker_ids.get_lock():
+            wid = worker_ids.value
+            worker_ids.value += 1
+        os.environ["REPRO_OBS_WORKER"] = str(wid)
     # Fresh per-process singleton; first use warms from the shared disk.
     from repro.cache import reset_default_cache
 
@@ -49,20 +64,26 @@ def parallel_map(fn, items, *, workers: int = 1, cache_dir: str | None = None):
     (default: the parent's resolved cache directory).
     """
     items = list(items)
+    tracer = _obs.current()
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        with tracer.span("parallel.map", items=len(items), workers=1):
+            return [fn(item) for item in items]
     if cache_dir is None:
         from repro.cache import default_cache
 
         cache_dir = str(default_cache().cache_dir)
     workers = min(workers, len(items))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_mp_context(),
-        initializer=_init_worker,
-        initargs=(cache_dir,),
-    ) as pool:
-        return list(pool.map(fn, items))
+    ctx = _mp_context()
+    # Worker ids start at 1: id 0 is the parent's (default) track.
+    worker_ids = ctx.Value("i", 1)
+    with tracer.span("parallel.map", items=len(items), workers=workers):
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(cache_dir, worker_ids),
+        ) as pool:
+            return list(pool.map(fn, items))
 
 
 def run_commands(commands, *, workers: int = 1) -> list[int]:
@@ -71,7 +92,30 @@ def run_commands(commands, *, workers: int = 1) -> list[int]:
     The children are full processes, so the fan-out layer is threads.
     """
     commands = [list(cmd) for cmd in commands]
-    if workers <= 1 or len(commands) <= 1:
-        return [subprocess.call(cmd) for cmd in commands]
-    with ThreadPoolExecutor(max_workers=min(workers, len(commands))) as pool:
-        return list(pool.map(subprocess.call, commands))
+    tracer = _obs.current()
+    if not tracer.enabled:
+        if workers <= 1 or len(commands) <= 1:
+            return [subprocess.call(cmd) for cmd in commands]
+        with ThreadPoolExecutor(max_workers=min(workers, len(commands))) as pool:
+            return list(pool.map(subprocess.call, commands))
+
+    def _traced_call(indexed_cmd):
+        index, cmd = indexed_cmd
+        with tracer.span(
+            "parallel.command",
+            index=index,
+            command=" ".join(cmd),
+            worker=threading.current_thread().name,
+        ) as span:
+            code = subprocess.call(cmd)
+            span.set(returncode=code)
+            return code
+
+    indexed = list(enumerate(commands))
+    with tracer.span(
+        "parallel.commands", commands=len(commands), workers=workers
+    ):
+        if workers <= 1 or len(commands) <= 1:
+            return [_traced_call(ic) for ic in indexed]
+        with ThreadPoolExecutor(max_workers=min(workers, len(commands))) as pool:
+            return list(pool.map(_traced_call, indexed))

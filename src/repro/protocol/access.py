@@ -38,6 +38,7 @@ from repro.mesh.costmodel import CostModel
 from repro.mesh.engine import SynchronousEngine
 from repro.mesh.packets import PacketBatch
 from repro.mesh.sorting import shearsort_steps
+from repro.obs import tracer as _obs
 from repro.util.grouping import rank_within_groups
 
 __all__ = [
@@ -262,32 +263,35 @@ class AccessProtocol:
             raise ValueError(
                 f"on_error must be 'raise' or 'record', got {on_error!r}"
             )
+        tracer = _obs.current()
         results: list = []
         for index, step in enumerate(steps):
             op = step.op
             variables = step.variables
             timestamp = start_timestamp + index
             try:
-                if op == "read":
-                    results.append(self.read(variables))
-                elif op == "write":
-                    results.append(
-                        self.write(variables, step.values, timestamp=timestamp)
-                    )
-                elif op == "mixed":
-                    results.append(
-                        self.mixed(
-                            variables,
-                            step.is_write,
-                            step.values,
-                            timestamp=timestamp,
+                with tracer.span("protocol.step", index=index, op=op):
+                    if op == "read":
+                        results.append(self.read(variables))
+                    elif op == "write":
+                        results.append(
+                            self.write(variables, step.values, timestamp=timestamp)
                         )
-                    )
-                else:
-                    raise ValueError(f"step {index}: unknown op {op!r}")
+                    elif op == "mixed":
+                        results.append(
+                            self.mixed(
+                                variables,
+                                step.is_write,
+                                step.values,
+                                timestamp=timestamp,
+                            )
+                        )
+                    else:
+                        raise ValueError(f"step {index}: unknown op {op!r}")
             except RuntimeError as exc:
                 if on_error == "raise":
                     raise
+                tracer.count("protocol.step_errors")
                 results.append(
                     StepError(
                         index=index,
@@ -302,6 +306,30 @@ class AccessProtocol:
 
     def _execute(
         self, variables, op, values, *, timestamp: int, is_write=None
+    ) -> AccessResult:
+        tracer = _obs.current()
+        if not tracer.enabled:
+            return self._execute_impl(
+                variables, op, values, timestamp=timestamp, is_write=is_write,
+                tracer=tracer,
+            )
+        with tracer.span(
+            "protocol.access", op=op, engine=self.engine
+        ) as span:
+            result = self._execute_impl(
+                variables, op, values, timestamp=timestamp, is_write=is_write,
+                tracer=tracer,
+            )
+            span.set(
+                requests=int(result.variables.size),
+                total_steps=float(result.total_steps),
+                culling_steps=float(result.culling.charged_steps),
+                return_steps=float(result.return_steps),
+            )
+            return result
+
+    def _execute_impl(
+        self, variables, op, values, *, timestamp: int, is_write=None, tracer
     ) -> AccessResult:
         scheme = self.scheme
         params = scheme.params
@@ -405,6 +433,9 @@ class AccessProtocol:
             )
         ]
 
+        if tracer.enabled:
+            self._emit_lane_spans(tracer, op, culling_res, stages, return_steps)
+
         # Memory access at the copies.  Read phase precedes write phase
         # (the PRAM read-compute-write convention).
         out_values = None
@@ -428,6 +459,54 @@ class AccessProtocol:
             culling=culling_res,
             stages=tuple(stages),
             return_steps=return_steps,
+        )
+
+    def _emit_lane_spans(self, tracer, op, culling_res, stages, return_steps):
+        """Mesh-step lane trace of one access.
+
+        Every charged phase becomes one span on lane ``"mesh"`` whose
+        ``dur`` *is* its mesh-step cost, in protocol order: CULLING
+        (with zero-width ``culling.iteration[i]`` markers carrying the
+        per-level diagnostics), each stage's sort and route, and the
+        return journey — plus one enclosing rollup span so Perfetto
+        nests the whole access.  :func:`repro.obs.summary.stage_breakdown`
+        recovers :meth:`SimulationReport.breakdown` exactly from these.
+        """
+        base = tracer.lane_cursor("mesh")
+        tracer.lane_span(
+            "mesh",
+            "protocol.culling",
+            culling_res.charged_steps,
+            selected=int(culling_res.total_selected),
+        )
+        for it in culling_res.iterations:
+            tracer.lane_span(
+                "mesh",
+                f"culling.iteration[{it.level}]",
+                0.0,
+                at=base,
+                cap=int(it.cap),
+                marked=int(it.marked),
+                max_page_load=int(it.max_page_load),
+            )
+        for s in stages:
+            for part, steps in (("sort", s.sort_steps), ("route", s.route_steps)):
+                tracer.lane_span(
+                    "mesh",
+                    f"stage[{s.stage}].{part}",
+                    steps,
+                    t_nodes=int(s.t_nodes),
+                    delta_in=int(s.delta_in),
+                    delta_out=int(s.delta_out),
+                )
+        tracer.lane_span("mesh", "protocol.return", return_steps)
+        tracer.lane_span(
+            "mesh",
+            "protocol.access",
+            tracer.lane_cursor("mesh") - base,
+            at=base,
+            rollup=True,
+            op=op,
         )
 
     def _max_span(self, level: int, pkt_vars, pkt_paths, chains) -> int:

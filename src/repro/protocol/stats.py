@@ -9,6 +9,7 @@ observed, and the effective slowdown versus an ideal PRAM.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,10 +78,7 @@ class SimulationReport:
         return worst
 
     def op_counts(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for r in self.results:
-            counts[r.op] = counts.get(r.op, 0) + 1
-        return counts
+        return dict(Counter(r.op for r in self.results))
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -88,9 +86,15 @@ class SimulationReport:
             return "SimulationReport: no steps recorded"
         bd = self.breakdown()
         total = self.total_mesh_steps
-        shares = ", ".join(
-            f"{name} {100 * v / total:.0f}%" for name, v in bd.items() if total
-        )
+        if total > 0:
+            shares = ", ".join(
+                f"{name} {100 * v / total:.0f}%" for name, v in bd.items()
+            )
+        else:
+            # E.g. an all-refused fault stream: nothing was charged, so
+            # percentages are undefined — say so instead of rendering a
+            # bare "time share:" line.
+            shares = "n/a (no mesh steps charged)"
         ops = ", ".join(f"{k}: {v}" for k, v in sorted(self.op_counts().items()))
         sizes = np.array([r.variables.size for r in self.results])
         return "\n".join(

@@ -15,6 +15,7 @@ from repro.util.intmath import (
     is_power_of,
     isqrt_exact,
 )
+from repro.util.fsio import write_text_atomic
 from repro.util.grouping import rank_within_groups
 from repro.util.tables import format_table
 from repro.util.validate import check_index, check_positive, check_type
@@ -32,4 +33,5 @@ __all__ = [
     "check_index",
     "check_positive",
     "check_type",
+    "write_text_atomic",
 ]

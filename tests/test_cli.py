@@ -123,3 +123,49 @@ class TestExperimentsCommand:
 
         with pytest.raises(KeyError):
             run(["E99"])
+
+
+class TestTraceCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_run_records_and_agrees(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        perfetto = tmp_path / "run.json"
+        assert main([
+            "trace", "run", "--n", "64", "--steps", "2",
+            "--out", str(out_path), "--perfetto", str(perfetto),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "agree" in out and "DISAGREE" not in out
+        assert "stage 3" in out and "culling" in out
+        assert out_path.exists() and perfetto.exists()
+        import json
+
+        data = json.loads(perfetto.read_text())
+        assert data["traceEvents"]  # Perfetto-loadable payload
+
+    def test_summarize(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        main(["trace", "run", "--n", "64", "--steps", "2",
+              "--out", str(out_path)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "total mesh steps" in out
+        assert "engine.queue_occupancy" in out
+
+    def test_diff_localizes_delta(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["trace", "run", "--n", "64", "--k", "2", "--steps", "2",
+              "--out", str(a)])
+        main(["trace", "run", "--n", "64", "--k", "1", "--steps", "2",
+              "--out", str(b)])
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        # k=2 has a stage 3 that k=1 lacks: the diff must expose it.
+        assert "stage[3].sort" in out
+        assert "TOTAL" in out

@@ -68,15 +68,55 @@ class TestRun:
         assert any(arg.endswith("test_e08_simulation_scaling.py") for arg in cmd)
         assert "--benchmark-only" in cmd
 
-    def test_no_ids_targets_whole_suite(self, monkeypatch):
+    def test_no_ids_targets_every_experiment(self, monkeypatch):
         calls = []
         monkeypatch.setattr(
             experiments.subprocess, "call", lambda cmd: calls.append(cmd) or 3
         )
         assert run() == 3  # exit code passes through
         (cmd,) = calls
-        bench_dir = str(experiments._benchmarks_dir())
-        assert bench_dir in cmd
+        for info in EXPERIMENTS.values():
+            assert any(arg.endswith(info.bench) for arg in cmd), info.bench
+
+    def test_no_ids_workers_fan_out_per_experiment(self, monkeypatch):
+        """The full-suite sweep must give --workers one target per
+        experiment (it used to collapse to a single benchmarks/ target,
+        making the parallel branch dead for the default invocation)."""
+        import repro.parallel
+
+        captured = []
+
+        def fake_run_commands(commands, *, workers):
+            captured.append((list(commands), workers))
+            return [0] * len(commands)
+
+        monkeypatch.setattr(repro.parallel, "run_commands", fake_run_commands)
+        assert run(workers=4) == 0
+        ((commands, workers),) = captured
+        assert workers == 4
+        assert len(commands) == len(EXPERIMENTS)
+        benches = sorted(info.bench for info in EXPERIMENTS.values())
+        targeted = sorted(
+            next(arg for arg in cmd if arg.endswith(".py")).rsplit("/", 1)[-1]
+            for cmd in commands
+        )
+        assert targeted == benches
+        for cmd in commands:
+            assert cmd[1:3] == ["-m", "pytest"] and "--benchmark-only" in cmd
+
+    def test_workers_fan_out_selected_ids(self, monkeypatch):
+        import repro.parallel
+
+        captured = []
+        monkeypatch.setattr(
+            repro.parallel,
+            "run_commands",
+            lambda commands, *, workers: captured.append(list(commands))
+            or [0, 2],
+        )
+        assert run(["E1", "E2"], workers=2) == 2  # worst exit code wins
+        (commands,) = captured
+        assert len(commands) == 2
 
     def test_extra_args_forwarded(self, monkeypatch):
         calls = []

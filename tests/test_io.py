@@ -6,7 +6,10 @@ import numpy as np
 import pytest
 
 from repro.hmos import HMOS
+from repro.hmos.faults import FaultInjector
 from repro.io import (
+    ACCESS_RESULT_FORMAT,
+    access_result_from_dict,
     access_result_to_dict,
     load_config,
     save_config,
@@ -14,6 +17,7 @@ from repro.io import (
     scheme_to_config,
 )
 from repro.protocol import AccessProtocol
+from repro.protocol.access import StepRequest
 
 
 class TestSchemeConfig:
@@ -80,3 +84,91 @@ class TestResultExport:
         assert set(stage) == {
             "stage", "t_nodes", "delta_in", "delta_out", "sort_steps", "route_steps"
         }
+
+    def test_format_stamp_present(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="model")
+        d = access_result_to_dict(proto.read(np.arange(8)))
+        assert d["format"] == ACCESS_RESULT_FORMAT == "repro.access/1"
+
+    def test_roundtrip_mixed_steps_with_faults(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        faults = FaultInjector(scheme)
+        faults.fail_nodes([0, 5, 9])
+        proto = AccessProtocol(scheme, engine="cycle", faults=faults)
+        v = np.arange(24)
+        steps = [
+            StepRequest("write", v, v * 2),
+            StepRequest("mixed", v, v + 1, (np.arange(24) % 2).astype(bool)),
+            StepRequest("read", v),
+        ]
+        for res in proto.run_steps(steps):
+            archived = access_result_to_dict(res)
+            # Through JSON text and back, as an archive would go.
+            record = access_result_from_dict(json.loads(json.dumps(archived)))
+            assert record.to_dict() == archived
+            assert record.op == res.op
+            assert record.requests == res.variables.size
+            assert record.total_steps == pytest.approx(res.total_steps)
+            assert record.protocol_steps == pytest.approx(res.protocol_steps)
+            assert len(record.stages) == len(res.stages)
+
+    def test_loader_rejects_bad_format(self):
+        with pytest.raises(ValueError, match="access-result format"):
+            access_result_from_dict({"format": "something/else"})
+        with pytest.raises(ValueError, match="access-result format"):
+            access_result_from_dict({"op": "read"})  # no stamp at all
+
+    def test_loader_rejects_malformed_payload(self):
+        scheme = HMOS(n=64, alpha=1.5)
+        proto = AccessProtocol(scheme, engine="model")
+        d = access_result_to_dict(proto.read(np.arange(8)))
+        del d["stages"][0]["sort_steps"]
+        with pytest.raises(ValueError, match="malformed"):
+            access_result_from_dict(d)
+
+
+class TestAtomicSave:
+    def test_save_config_leaves_no_temp_files(self, tmp_path):
+        scheme = HMOS(n=64, alpha=1.5)
+        path = tmp_path / "scheme.json"
+        save_config(scheme, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["scheme.json"]
+        assert load_config(path).params == scheme.params
+
+    def test_save_config_replaces_atomically(self, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous complete recipe."""
+        import repro.util.fsio as fsio
+
+        scheme = HMOS(n=64, alpha=1.5)
+        path = tmp_path / "scheme.json"
+        save_config(scheme, path)
+        before = path.read_text()
+
+        real_fdopen = fsio.os.fdopen
+
+        class _Exploding:
+            def __init__(self, fh):
+                self._fh = fh
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._fh.close()
+                return False
+
+            def write(self, text):
+                self._fh.write(text[: len(text) // 2])
+                raise OSError("disk full")
+
+        monkeypatch.setattr(
+            fsio.os, "fdopen", lambda fd, mode: _Exploding(real_fdopen(fd, mode))
+        )
+        with pytest.raises(OSError, match="disk full"):
+            save_config(HMOS(n=256, alpha=1.5), path)
+        monkeypatch.undo()
+        # Destination untouched and still parseable; no temp droppings.
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["scheme.json"]
+        assert load_config(path).params == scheme.params

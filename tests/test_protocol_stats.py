@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.culling import CullingResult
 from repro.hmos import HMOS
 from repro.protocol import AccessProtocol, SimulationReport
+from repro.protocol.access import AccessResult
 
 
 @pytest.fixture()
@@ -52,6 +54,36 @@ class TestReport:
         assert "3 memory steps" in text
         assert "read: 2" in text
         assert "time share" in text
+
+    def test_summary_zero_mesh_steps_says_so(self):
+        """Zero charged steps (e.g. an all-refused fault stream) must not
+        render a bare 'time share:' line with no percentages."""
+        report = SimulationReport()
+        zero = AccessResult(
+            op="read",
+            variables=np.arange(4),
+            values=np.zeros(4, dtype=np.int64),
+            culling=CullingResult(
+                variables=np.arange(4),
+                selected=np.zeros((4, 9), dtype=bool),
+                iterations=(),
+                charged_steps=0.0,
+            ),
+            stages=(),
+            return_steps=0.0,
+        )
+        report.record(zero)
+        text = report.summary()
+        share_line = next(
+            line for line in text.splitlines() if "time share" in line
+        )
+        assert share_line.split("time share:")[1].strip()  # never empty
+        assert "no mesh steps charged" in share_line
+
+    def test_op_counts_uses_counter_semantics(self, populated):
+        # dict equality plus insertion-order independence.
+        assert populated.op_counts() == {"read": 2, "write": 1}
+        assert SimulationReport().op_counts() == {}
 
     def test_record_returns_result(self):
         scheme = HMOS(n=64, alpha=1.5, q=3, k=2)
