@@ -9,9 +9,10 @@ Two measurements, both recorded in ``benchmarks/BENCH_protocol.json``:
   *same* case stream: plain arithmetic HMOS on both oracle sides,
   per-call curve decoding, ``reuse=False`` protocols, sequential
   execution.  The worker sweep needs real cores to pay for the process
-  pool; on machines with fewer than 4 CPUs the full 3x target is
-  recorded but the assertion drops to a single-core floor (the best
-  measured worker count must still beat the seed stack).
+  pool; on machines with fewer than 4 CPUs the multi-worker timings are
+  skipped outright (the JSON ``note`` says so) and the assertion drops
+  to a single-core floor (the best measured worker count must still
+  beat the seed stack).
 * **Batched step executor** — a 100-step mixed-workload ``run_steps``
   stream at ``n = 4096`` (full load, one request per processor) on the
   model engine: materialized-table cached scheme + threaded chain
@@ -136,8 +137,14 @@ def test_fuzz_campaign_throughput():
 
     base_t, _ = _timed(seed_campaign)
 
+    # Worker sweep sized to the machine: a multi-worker timing on a box
+    # that cannot run the workers concurrently measures only dispatch
+    # overhead, so it is skipped — not published as a misleading
+    # "regression" (the old BENCH_protocol.json recorded workers_4
+    # slower than workers_1 next to cpu_count: 1).
+    worker_sweep = (1, 4) if CPU_COUNT >= 4 else (1,)
     parallel_t = {}
-    for workers in (1, 4):
+    for workers in worker_sweep:
         t, report = _timed(
             lambda w=workers: run_fuzz_parallel(
                 seed=0, cases=CAMPAIGN_CASES, workers=w
@@ -146,47 +153,55 @@ def test_fuzz_campaign_throughput():
         assert report.ok, report.summary()
         parallel_t[workers] = t
 
-    speedup_w4 = base_t / parallel_t[4]
     best_speedup = base_t / min(parallel_t.values())
     asserted = (
         CAMPAIGN_TARGET if CPU_COUNT >= 4 else CAMPAIGN_FLOOR_FEW_CORES
     )
+    sweep_note = (
+        ""
+        if CPU_COUNT >= 4
+        else (
+            f"; multi-worker timings skipped: cpu_count={CPU_COUNT} cannot "
+            "run the workers concurrently, so a pool sweep would only "
+            "measure dispatch overhead"
+        )
+    )
     stats = default_cache().stats
-    _record(
-        "fuzz_campaign",
-        {
-            "benchmark": (
-                f"{CAMPAIGN_CASES}-case differential fuzz campaign, warm "
-                "HMOS artifact cache"
-            ),
-            "quick_mode": QUICK,
-            "cases": CAMPAIGN_CASES,
-            "seed": 0,
-            "cpu_count": CPU_COUNT,
-            "seed_stack_seconds": base_t,
-            "parallel_seconds": {
-                f"workers_{w}": t for w, t in parallel_t.items()
-            },
-            "speedup_workers_4": speedup_w4,
-            "best_speedup": best_speedup,
-            "target_speedup": CAMPAIGN_TARGET,
-            "asserted_speedup": asserted,
-            "cache_stats": dataclasses.asdict(stats),
-            "cache_hit_rate": stats.hit_rate,
-            "note": (
-                "baseline = same case stream on the pre-PR stack (plain "
-                "arithmetic HMOS both oracle sides, per-call curve "
-                "decoding, reuse=False, sequential); the 3x target needs "
-                ">= 4 real cores for the worker sweep — below that the "
-                "process pool cannot beat its own overhead and the "
-                "asserted bound is the sequential-stack floor"
-            ),
+    record = {
+        "benchmark": (
+            f"{CAMPAIGN_CASES}-case differential fuzz campaign, warm "
+            "HMOS artifact cache"
+        ),
+        "quick_mode": QUICK,
+        "cases": CAMPAIGN_CASES,
+        "seed": 0,
+        "cpu_count": CPU_COUNT,
+        "seed_stack_seconds": base_t,
+        "parallel_seconds": {
+            f"workers_{w}": t for w, t in parallel_t.items()
         },
+        "best_speedup": best_speedup,
+        "target_speedup": CAMPAIGN_TARGET,
+        "asserted_speedup": asserted,
+        "cache_stats": dataclasses.asdict(stats),
+        "cache_hit_rate": stats.hit_rate,
+        "note": (
+            "baseline = same case stream on the pre-PR stack (plain "
+            "arithmetic HMOS both oracle sides, per-call curve "
+            "decoding, reuse=False, sequential); the 3x target needs "
+            ">= 4 real cores for the worker sweep — below that the "
+            "asserted bound is the sequential-stack floor" + sweep_note
+        ),
+    }
+    if 4 in parallel_t:
+        record["speedup_workers_4"] = base_t / parallel_t[4]
+    _record("fuzz_campaign", record)
+    sweep_text = ", ".join(
+        f"workers={w} {t:.2f}s" for w, t in parallel_t.items()
     )
     print(
         f"\nfuzz campaign ({CAMPAIGN_CASES} cases): seed stack {base_t:.2f}s, "
-        f"workers=1 {parallel_t[1]:.2f}s, workers=4 {parallel_t[4]:.2f}s "
-        f"-> {speedup_w4:.2f}x at 4 workers on {CPU_COUNT} CPU(s) "
+        f"{sweep_text} -> {best_speedup:.2f}x best on {CPU_COUNT} CPU(s) "
         f"(asserting >= {asserted}x)"
     )
     assert best_speedup >= asserted, (

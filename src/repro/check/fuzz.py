@@ -291,7 +291,15 @@ def run_fuzz_parallel(
         for lo, hi in zip(bounds, bounds[1:])
         if hi > lo
     ]
-    results = parallel_map(_execute_shard, payloads, workers=workers)
+    # ~10ms of oracle work per case on the configs random_cases draws
+    # from — lets tiny campaigns skip the pool instead of losing to its
+    # spin-up cost (workers then only change wall-clock on real loads).
+    results = parallel_map(
+        _execute_shard,
+        payloads,
+        workers=workers,
+        cost_hint=0.01 * len(specs),
+    )
     executed = sum(r["executed"] for r in results)
     failures = sorted(
         (f for r in results for f in r["failures"]), key=lambda f: f["index"]

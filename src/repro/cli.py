@@ -46,9 +46,17 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _add_shards_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="submesh shards for the cycle engine's stepping loop "
+        "(default: $REPRO_SHARDS or 1; results are bit-identical)",
+    )
+
+
 def _cmd_step(args) -> int:
     scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
-    proto = AccessProtocol(scheme, engine=args.engine)
+    proto = AccessProtocol(scheme, engine=args.engine, shards=args.shards)
     if args.workload == "adversarial":
         variables = module_collision_requests(scheme, args.n)
     else:
@@ -128,7 +136,9 @@ def _cmd_run(args) -> int:
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
     program = assemble(source)
     scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
-    machine = PRAMMachine(MeshBackend(scheme, engine=args.engine), args.n)
+    machine = PRAMMachine(
+        MeshBackend(scheme, engine=args.engine, shards=args.shards), args.n
+    )
     if args.data:
         machine.scatter(0, np.array([int(x) for x in args.data.split(",")]))
     state = Interpreter(machine).run(program)
@@ -216,7 +226,7 @@ def _cmd_trace(args) -> int:
         from repro.protocol import SimulationReport
 
         scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
-        proto = AccessProtocol(scheme, engine=args.engine)
+        proto = AccessProtocol(scheme, engine=args.engine, shards=args.shards)
         steps = _trace_workload(scheme, args)
         with obs.capture() as tracer:
             results = proto.run_steps(steps)
@@ -280,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("step", help="simulate one PRAM memory step")
     _add_scheme_args(p)
+    _add_shards_arg(p)
     p.add_argument("--engine", choices=["cycle", "model"], default="cycle")
     p.add_argument("--workload", choices=["uniform", "adversarial"], default="uniform")
     p.add_argument("--op", choices=["read", "write"], default="read")
@@ -344,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="record one run_steps workload to a trace file"
     )
     _add_scheme_args(pt)
+    _add_shards_arg(pt)
     pt.add_argument("--engine", choices=["cycle", "model"], default="cycle")
     pt.add_argument("--workload", choices=["uniform", "adversarial"],
                     default="uniform")
@@ -382,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run a PRAM assembly program on the mesh")
     p.add_argument("file", help="assembly file, or - for stdin")
     _add_scheme_args(p)
+    _add_shards_arg(p)
     p.add_argument("--engine", choices=["cycle", "model"], default="model")
     p.add_argument("--data", help="comma-separated ints preloaded at MEM[0]")
     p.add_argument("--dump", help="print MEM[0:N] after the run")

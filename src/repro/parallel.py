@@ -1,69 +1,156 @@
-"""Process-pool sweep runner shared by the fuzzer and the experiments.
+"""Process-parallel execution: sweep pools and the shared-memory shard pool.
 
-Workers are plain processes (``ProcessPoolExecutor``, fork context when
-the platform has it) initialized to point their per-process
-:func:`repro.cache.default_cache` at the parent's cache directory, so
-every worker reuses the same persisted HMOS artifacts instead of
-rebuilding subgraph tables per shard.  ``workers <= 1`` degrades to an
-inline map — no pool, no serialization — which keeps single-core
-environments and debuggers on the exact same code path.
+Three layers, all built so that ``workers <= 1`` (or a machine that
+cannot pay for processes) degrades to plain inline execution:
 
-``run_commands`` covers the other sweep shape: independent *subprocess*
-invocations (the per-experiment pytest runs of ``repro experiments``),
-fanned out on threads since the children are processes already.
+* :func:`parallel_map` — the sweep runner shared by the fuzzer and the
+  experiments.  Workers are plain processes (``ProcessPoolExecutor``)
+  initialized to point their per-process
+  :func:`repro.cache.default_cache` at the parent's cache directory, so
+  every worker reuses the same persisted HMOS artifacts instead of
+  rebuilding subgraph tables per shard.  Dispatch is sized honestly:
+  the worker count is clamped to the machine's real cores (a pool
+  cannot beat its own overhead without them), an explicit ``chunksize``
+  keeps the per-item pickle round-trips amortized, and a caller-supplied
+  ``cost_hint`` lets trivially small campaigns skip the pool entirely —
+  the pool path must never lose to the inline path.
+* :func:`run_commands` — independent *subprocess* invocations (the
+  per-experiment pytest runs of ``repro experiments``), fanned out on
+  threads since the children are processes already.
+* :class:`SharedSlabSet` + :class:`ShardWorkerPool` — the persistent
+  shared-memory worker pool behind the sharded stepping core
+  (:mod:`repro.mesh.engine_shard`).  State lives in named
+  ``multiprocessing.shared_memory`` slabs that workers map as zero-copy
+  NumPy views (allocate once, grow only); the workers are long-lived
+  processes advancing in barrier-synchronized rounds, so a run ships
+  no pickled ndarrays at all — only a small spec dict per run.
 
-Observability: each pool worker receives a distinct small worker id via
+Worker ids: every pool worker derives a distinct small id from its own
+``multiprocessing`` process identity and exports it as
 ``$REPRO_OBS_WORKER`` (consumed by any :class:`repro.obs.Tracer` the
 worker creates, so merged sweep timelines interleave by worker instead
-of collapsing onto one track), and ``run_commands`` records one
-``parallel.command`` span per child tagged with the executing thread —
-the fan-out structure is visible in a recorded trace.
+of collapsing onto one track).  The id is *not* shipped through a
+fork-context ``Value`` anymore — synchronized primitives cannot be
+passed via ``initargs`` under the spawn start method, which crashed
+``parallel_map`` on spawn-only platforms.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import subprocess
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
 
 from repro.obs import tracer as _obs
 
-__all__ = ["parallel_map", "run_commands"]
+__all__ = [
+    "ShardWorkerPool",
+    "SharedSlabSet",
+    "attach_slab",
+    "parallel_map",
+    "run_commands",
+]
+
+#: Estimated wall-clock cost of spinning up a worker pool (fork/spawn +
+#: interpreter bootstrap + initializer imports).  A map whose *total*
+#: estimated work is below this cannot win by going parallel, so
+#: ``parallel_map`` runs it inline when the caller provides a
+#: ``cost_hint``.
+POOL_SPINUP_COST_S = 0.25
 
 
-def _init_worker(cache_dir: str | None, worker_ids=None) -> None:
+def _worker_rank() -> int:
+    """Distinct small id of this pool worker (0 in the parent).
+
+    Derived from ``multiprocessing``'s own per-child identity counter,
+    which exists under every start method — unlike a fork-context
+    ``Value`` shipped through ``initargs``, which the spawn pickler
+    rejects ("synchronized objects should only be shared through
+    inheritance").
+    """
+    identity = multiprocessing.current_process()._identity
+    return int(identity[0]) if identity else 0
+
+
+def _init_worker(cache_dir: str | None) -> None:
     """Worker bootstrap: shared artifact-cache dir + distinct worker id."""
     if cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
-    if worker_ids is not None:
-        with worker_ids.get_lock():
-            wid = worker_ids.value
-            worker_ids.value += 1
-        os.environ["REPRO_OBS_WORKER"] = str(wid)
+    # Worker ids start at 1: id 0 is the parent's (default) track.
+    os.environ["REPRO_OBS_WORKER"] = str(max(1, _worker_rank()))
     # Fresh per-process singleton; first use warms from the shared disk.
     from repro.cache import reset_default_cache
 
     reset_default_cache()
 
 
-def _mp_context():
+def _mp_context(start_method: str | None = None):
+    if start_method is None:
+        start_method = os.environ.get("REPRO_MP_START") or None
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
 
 
-def parallel_map(fn, items, *, workers: int = 1, cache_dir: str | None = None):
+def parallel_map(
+    fn,
+    items,
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    chunksize: int | None = None,
+    cost_hint: float | None = None,
+    start_method: str | None = None,
+    oversubscribe: bool = False,
+):
     """Map ``fn`` over ``items``, order-preserving.
 
     ``workers <= 1`` runs inline.  ``fn`` and the items must be picklable
-    for the pool path (top-level functions, plain data).  ``cache_dir``
-    overrides the artifact-cache location exported to the workers
-    (default: the parent's resolved cache directory).
+    for the pool path (top-level functions, plain data).
+
+    Parameters
+    ----------
+    workers : int
+        Requested pool size.  Clamped to ``len(items)`` and — unless
+        ``oversubscribe`` — to ``os.cpu_count()``: below its own core
+        count a process pool only adds serialization overhead, which is
+        exactly the BENCH_protocol regression this clamp removes.
+    cache_dir : str, optional
+        Overrides the artifact-cache location exported to the workers
+        (default: the parent's resolved cache directory).
+    chunksize : int, optional
+        Explicit ``pool.map`` chunk size.  Default: items split into at
+        most 4 chunks per worker, so per-item dispatch overhead is
+        amortized while the tail stays balanced.
+    cost_hint : float, optional
+        Caller's estimate of the *total* sequential seconds of the whole
+        map.  When it is below the pool spin-up cost
+        (:data:`POOL_SPINUP_COST_S`) the pool is skipped entirely — the
+        parallel path must never run slower than the inline path.
+    start_method : str, optional
+        Force a multiprocessing start method (``"fork"``/``"spawn"``);
+        default prefers fork where available (``$REPRO_MP_START``
+        overrides).
+    oversubscribe : bool
+        Allow more workers than real cores (testing hook: exercises the
+        pool path on single-core machines).
     """
     items = list(items)
+    workers = min(int(workers), len(items))
+    if not oversubscribe:
+        workers = min(workers, os.cpu_count() or 1)
+    if cost_hint is not None and cost_hint < POOL_SPINUP_COST_S:
+        workers = 1
     tracer = _obs.current()
     if workers <= 1 or len(items) <= 1:
         with tracer.span("parallel.map", items=len(items), workers=1):
@@ -72,18 +159,19 @@ def parallel_map(fn, items, *, workers: int = 1, cache_dir: str | None = None):
         from repro.cache import default_cache
 
         cache_dir = str(default_cache().cache_dir)
-    workers = min(workers, len(items))
-    ctx = _mp_context()
-    # Worker ids start at 1: id 0 is the parent's (default) track.
-    worker_ids = ctx.Value("i", 1)
-    with tracer.span("parallel.map", items=len(items), workers=workers):
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(items) / (workers * 4)))
+    ctx = _mp_context(start_method)
+    with tracer.span(
+        "parallel.map", items=len(items), workers=workers, chunksize=chunksize
+    ):
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(cache_dir, worker_ids),
+            initargs=(cache_dir,),
         ) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=chunksize))
 
 
 def run_commands(commands, *, workers: int = 1) -> list[int]:
@@ -119,3 +207,200 @@ def run_commands(commands, *, workers: int = 1) -> list[int]:
             return [_traced_call(ic) for ic in indexed]
         with ThreadPoolExecutor(max_workers=min(workers, len(commands))) as pool:
             return list(pool.map(_traced_call, indexed))
+
+
+# -- shared-memory slabs ----------------------------------------------------
+
+
+def _discard_segment(shm) -> None:
+    """Best-effort close + unlink.
+
+    ``close`` raises ``BufferError`` while ndarray views over the
+    segment are still alive; the unlink must happen regardless — it
+    only removes the name, and the memory is freed once the last
+    mapping (ours or a worker's) goes away.
+    """
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:  # pragma: no cover - already removed
+        pass
+
+
+def _release_slabs(slabs: dict) -> None:
+    for shm in slabs.values():
+        _discard_segment(shm)
+    slabs.clear()
+
+
+class SharedSlabSet:
+    """Named, grow-only int64 shared-memory slabs (parent side).
+
+    ``ensure(key, shape)`` returns a zero-copy ndarray view over a
+    ``multiprocessing.shared_memory`` segment plus the segment name a
+    worker needs to map the same bytes (:func:`attach_slab`).  Segments
+    are reused across calls and reallocated only when a request outgrows
+    the existing capacity — the allocate-once contract of the sharded
+    stepping core.  All segments are unlinked on :meth:`close` (also
+    registered as a GC finalizer, so leaked sets still release their
+    memory).
+    """
+
+    def __init__(self):
+        self._slabs: dict[str, shared_memory.SharedMemory] = {}
+        self._finalizer = weakref.finalize(self, _release_slabs, self._slabs)
+
+    def ensure(self, key: str, shape) -> tuple[np.ndarray, str]:
+        """A view of at least ``shape`` int64s under ``key`` + its name."""
+        nbytes = max(8, int(np.prod(shape)) * 8)
+        shm = self._slabs.get(key)
+        if shm is None or shm.size < nbytes:
+            if shm is not None:
+                _discard_segment(shm)
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._slabs[key] = shm
+        return np.ndarray(shape, dtype=np.int64, buffer=shm.buf), shm.name
+
+    def close(self) -> None:
+        """Unlink every segment now (idempotent)."""
+        self._finalizer()
+
+
+def attach_slab(cache: dict, key: str, name: str, shape) -> np.ndarray:
+    """Worker-side map of a named slab as an int64 ndarray view.
+
+    ``cache`` persists attachments across runs keyed by slab role; when
+    the parent grows a slab (new segment name) the stale attachment is
+    closed and replaced.  Attaching must not register the segment with
+    this process's ``resource_tracker`` — the parent owns the
+    lifecycle, and double-tracking makes worker exit spuriously unlink
+    (spawn: own tracker) or clobber the parent's registration (fork:
+    shared tracker) — CPython issue 39959.  Python 3.13 grew a
+    ``track=False`` parameter for exactly this; below, registration is
+    suppressed for the duration of the attach instead.
+    """
+    entry = cache.get(key)
+    if entry is None or entry[0] != name:
+        if entry is not None:
+            entry[1].close()
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        try:
+            resource_tracker.register = lambda *a, **k: None
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        cache[key] = (name, shm)
+    return np.ndarray(shape, dtype=np.int64, buffer=cache[key][1].buf)
+
+
+# -- persistent shard worker pool -------------------------------------------
+
+
+def _drain_pool(procs, conns) -> None:
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - hung worker
+            proc.terminate()
+            proc.join(timeout=2.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    procs.clear()
+    conns.clear()
+
+
+class ShardWorkerPool:
+    """``nworkers`` persistent processes advancing in lockstep rounds.
+
+    Each worker runs ``main(rank, nworkers, barrier, conn)`` — a loop
+    that receives ``("run", spec)`` messages over its pipe, executes
+    barrier-synchronized rounds against shared-memory slabs, and replies
+    ``("done", result)`` or ``("error", "ExcType|message")``.  The pool
+    (processes + barrier) persists across runs, so repeated stepping
+    runs pay no process spin-up; workers are daemonic and additionally
+    reaped by a GC finalizer.
+
+    The barrier is created by the parent and handed to each worker at
+    ``Process`` construction — the one channel through which
+    synchronization primitives are legal under *every* start method.
+    """
+
+    def __init__(self, nworkers: int, main, *, start_method: str | None = None):
+        self.nworkers = int(nworkers)
+        self._main = main
+        self._start_method = start_method
+        self._procs: list = []
+        self._conns: list = []
+        self._barrier = None
+        self._finalizer = weakref.finalize(
+            self, _drain_pool, self._procs, self._conns
+        )
+
+    @property
+    def running(self) -> bool:
+        return bool(self._procs) and all(p.is_alive() for p in self._procs)
+
+    def _start(self) -> None:
+        _drain_pool(self._procs, self._conns)
+        ctx = _mp_context(self._start_method)
+        self._barrier = ctx.Barrier(self.nworkers)
+        for rank in range(self.nworkers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=self._main,
+                args=(rank, self.nworkers, self._barrier, child_conn),
+                name=f"repro-shard-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def run(self, spec: dict) -> list:
+        """One lockstep run: broadcast ``spec``, gather every reply.
+
+        Returns the per-rank result payloads.  If any worker reports an
+        error the barrier is reset for the next run and a
+        ``RuntimeError`` is raised — re-labelled with the worker's
+        original exception type and message (shards raise deterministic
+        errors like the livelock guard in unison; the first concrete
+        message wins over peers' "aborted by peer" reports).
+        """
+        if not self.running:
+            self._start()
+        for conn in self._conns:
+            conn.send(("run", spec))
+        replies = []
+        for conn in self._conns:
+            try:
+                replies.append(conn.recv())
+            except EOFError:  # pragma: no cover - worker died hard
+                replies.append(("error", "RuntimeError|shard worker died"))
+        errors = [r for r in replies if r[0] == "error"]
+        if errors:
+            self._barrier.reset()
+            concrete = [
+                e[1] for e in errors if not e[1].startswith("BrokenBarrierError|")
+            ]
+            kind, _, message = (concrete or [e[1] for e in errors])[0].partition("|")
+            if kind == "RuntimeError":
+                raise RuntimeError(message)
+            raise RuntimeError(f"shard worker failed: {kind}: {message}")
+        return [r[1] for r in replies]
+
+    def close(self) -> None:
+        """Stop and reap every worker (idempotent)."""
+        self._finalizer()

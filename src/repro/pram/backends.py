@@ -104,6 +104,9 @@ class MeshBackend:
     engine : {"model", "cycle"}
         Execution engine for the access protocol; ``model`` by default so
         PRAM programs of many steps stay fast.
+    shards : int, optional
+        Submesh shard count for the cycle engine (forwarded to
+        :class:`AccessProtocol`; ``None`` reads ``$REPRO_SHARDS``).
     """
 
     def __init__(
@@ -112,9 +115,12 @@ class MeshBackend:
         *,
         engine: str = "model",
         cost_model: CostModel | None = None,
+        shards: int | None = None,
     ):
         self.scheme = scheme
-        self.protocol = AccessProtocol(scheme, engine=engine, cost_model=cost_model)
+        self.protocol = AccessProtocol(
+            scheme, engine=engine, cost_model=cost_model, shards=shards
+        )
         self.memory_size = scheme.num_variables
         self.max_requests = scheme.params.n
         self.cost = 0.0

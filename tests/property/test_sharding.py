@@ -1,0 +1,112 @@
+"""Halo-exchange conservation laws of the sharded stepping core.
+
+Three properties pin the shard decomposition:
+
+* **Equivalence** — every ``CoreResult`` field matches the single-shard
+  core exactly, for any shard count and either port model.
+* **Halo conservation** — no packet is lost or duplicated at a shard
+  boundary.  XY routing makes row movement monotone, so a packet
+  crosses each boundary between its source and destination shard
+  exactly once and no other boundary at all: the total halo traffic
+  must equal ``sum(|shard(dst) - shard(src)|)`` over active packets,
+  in closed form.
+* **Occupancy aggregation** — the slice-assembled per-step occupancy
+  vectors (and hence ``max_queue`` and the queue histogram) are the
+  single core's, element for element.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh, ShardedSteppingCore, SteppingCore
+
+ports_st = st.sampled_from(["multi", "single"])
+
+
+@st.composite
+def shard_cases(draw):
+    side = draw(st.sampled_from([4, 8]))
+    mesh = Mesh(side)
+    n = mesh.n
+    shards = draw(st.sampled_from([2, 4]))
+    nbatches = draw(st.integers(1, 3))
+    batches = []
+    for _ in range(nbatches):
+        size = draw(st.integers(1, n))
+        src = draw(st.permutations(range(n)))[:size]
+        if draw(st.booleans()):
+            dst = draw(st.permutations(range(n)))[:size]
+        else:
+            dst = draw(
+                st.lists(st.integers(0, n - 1), min_size=size, max_size=size)
+            )
+        batches.append(
+            (np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64))
+        )
+    return mesh, shards, batches
+
+
+def _expected_halo(mesh, shards, batches):
+    """Closed-form boundary crossings: row movement is monotone, so a
+    packet crosses exactly the boundaries strictly between its source
+    and destination shard — ``|shard(dst) - shard(src)|`` of them."""
+    rows_per = mesh.side // shards
+    total = 0
+    for src, dst in batches:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        active = mesh.distance(src, dst) > 0
+        s_shard = (src[active] // mesh.side) // rows_per
+        d_shard = (dst[active] // mesh.side) // rows_per
+        total += int(np.abs(d_shard - s_shard).sum())
+    return total
+
+
+class TestShardedEquivalence:
+    @given(shard_cases(), ports_st)
+    def test_bit_identical_to_single_core(self, case, ports):
+        mesh, shards, batches = case
+        ref = SteppingCore(mesh, ports).run(batches)
+        core = ShardedSteppingCore(mesh, ports, shards=shards, processes=False)
+        got = core.run(batches)
+        for r, g in zip(ref, got):
+            assert r.steps == g.steps
+            assert r.total_hops == g.total_hops
+            assert r.max_queue == g.max_queue
+            np.testing.assert_array_equal(r.node_traffic, g.node_traffic)
+        # Delivery completeness: traffic counts every hop of every
+        # packet, so its total is the Manhattan work — nothing lost or
+        # duplicated anywhere, boundaries included.
+        for g, (src, dst) in zip(got, batches):
+            assert int(g.node_traffic.sum()) == int(
+                mesh.distance(src, dst).sum()
+            )
+
+    @given(shard_cases())
+    def test_halo_traffic_matches_closed_form(self, case):
+        mesh, shards, batches = case
+        core = ShardedSteppingCore(mesh, shards=shards, processes=False)
+        core.run(batches)
+        stats = core.last_shard_stats
+        assert len(stats) == core.shards
+        exchanged = sum(s["halo_up"] + s["halo_down"] for s in stats)
+        assert exchanged == _expected_halo(mesh, core.shards, batches)
+        # Directional sanity: shard 0 has no upper neighbor, the last
+        # shard no lower one.
+        assert stats[0]["halo_up"] == 0
+        assert stats[-1]["halo_down"] == 0
+
+    @given(shard_cases())
+    def test_occupancy_aggregation_exact(self, case):
+        mesh, shards, batches = case
+        ref_steps, got_steps = [], []
+        SteppingCore(mesh).run(
+            batches, occupancy=lambda occ: ref_steps.append(occ.copy())
+        )
+        ShardedSteppingCore(mesh, shards=shards, processes=False).run(
+            batches, occupancy=lambda occ: got_steps.append(occ.copy())
+        )
+        assert len(ref_steps) == len(got_steps)
+        for a, b in zip(ref_steps, got_steps):
+            np.testing.assert_array_equal(a, b)

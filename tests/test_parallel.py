@@ -8,6 +8,8 @@ workers only change wall-clock.
 
 import dataclasses
 import json
+import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -16,11 +18,15 @@ import repro.check.fuzz as fuzz_mod
 from repro.check.case import CaseSpec, StepSpec, load_artifact
 from repro.check.fuzz import run_fuzz_parallel, shrink_case
 from repro.check.generate import feasible_configs, random_cases
-from repro.parallel import parallel_map, run_commands
+from repro.parallel import SharedSlabSet, parallel_map, run_commands
 
 
 def _square(x):
     return x * x
+
+
+def _pid_and_worker_id(_):
+    return (os.getpid(), os.environ.get("REPRO_OBS_WORKER"))
 
 
 def test_parallel_map_preserves_order():
@@ -29,6 +35,71 @@ def test_parallel_map_preserves_order():
     assert parallel_map(_square, items, workers=3) == [x * x for x in items]
     assert parallel_map(_square, [], workers=3) == []
     assert parallel_map(_square, [7], workers=8) == [49]
+
+
+def test_parallel_map_clamps_workers_to_cpu_count(monkeypatch):
+    """Below its own core count a pool only adds overhead — the
+    BENCH_protocol regression.  On a claimed 1-core machine the pool is
+    skipped entirely (every result computed in the parent)."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    out = parallel_map(_pid_and_worker_id, range(6), workers=4)
+    assert {pid for pid, _ in out} == {os.getpid()}
+
+
+def test_parallel_map_small_cost_hint_skips_the_pool():
+    """A campaign estimated cheaper than pool spin-up runs inline even
+    when oversubscription would otherwise force the pool path."""
+    out = parallel_map(
+        _pid_and_worker_id, range(6), workers=4, oversubscribe=True,
+        cost_hint=0.001,
+    )
+    assert {pid for pid, _ in out} == {os.getpid()}
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_parallel_map_worker_ids_under_both_start_methods(start_method):
+    """Worker ids must not ride a fork-context sync primitive through
+    ``initargs`` (spawn rejects that); each worker process derives its
+    own distinct id >= 1 and the parent stays out of the pool."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} start method unavailable")
+    out = parallel_map(
+        _pid_and_worker_id, list(range(8)), workers=2,
+        oversubscribe=True, start_method=start_method,
+    )
+    assert os.getpid() not in {pid for pid, _ in out}
+    ids_by_pid = {}
+    for pid, wid in out:
+        assert wid is not None and int(wid) >= 1
+        ids_by_pid.setdefault(pid, set()).add(wid)
+    # One stable id per worker process, all distinct.
+    assert all(len(ids) == 1 for ids in ids_by_pid.values())
+    assert len({ids.pop() for ids in ids_by_pid.values()}) == len(ids_by_pid)
+
+
+def test_parallel_map_explicit_chunksize():
+    items = list(range(17))
+    out = parallel_map(
+        _square, items, workers=2, oversubscribe=True, chunksize=5
+    )
+    assert out == [x * x for x in items]
+
+
+def test_shared_slab_set_grow_only_reuse():
+    slabs = SharedSlabSet()
+    try:
+        view, name = slabs.ensure("state", (2, 8))
+        view[...] = 7
+        again, name2 = slabs.ensure("state", (4, 4))  # same bytes, new shape
+        assert name2 == name
+        assert again.shape == (4, 4)
+        np.testing.assert_array_equal(again.reshape(-1), np.full(16, 7))
+        grown, name3 = slabs.ensure("state", (8, 8))  # outgrows: new segment
+        assert name3 != name
+        assert grown.shape == (8, 8)
+    finally:
+        slabs.close()
+    slabs.close()  # idempotent
 
 
 def test_run_commands_collects_exit_codes():
