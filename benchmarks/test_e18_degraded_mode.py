@@ -1,0 +1,107 @@
+"""E18 — degraded-mode extension: mid-run deaths vs delivered work.
+
+Runs randomized read/write streams while a fault schedule kills
+processors and memory modules mid-run, sweeping the fault rate and
+measuring how much of the stream is still delivered.  Every delivered
+step is checked against a shadow reference memory (no stale reads in
+degraded mode) and every refused step must have left memory untouched —
+the two-sided refusal contract the differential oracle enforces
+case-by-case, here exercised as a sustained workload.
+"""
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.hmos import HMOS
+from repro.hmos.faults import FaultEvent, FaultInjector
+from repro.protocol import AccessProtocol
+from repro.protocol.access import StepError, StepRequest
+
+
+def _degraded_run(
+    engine: str,
+    seed: int,
+    steps: int,
+    dead_procs: int,
+    dead_modules: int,
+    n: int = 64,
+):
+    scheme = HMOS(n=n, alpha=1.5, q=3, k=2)
+    rng = np.random.default_rng(seed)
+    ranks = rng.choice(n, size=dead_procs + dead_modules, replace=False)
+    spread = max(1, steps - 1)
+    schedule = [
+        FaultEvent(step=1 + (i % spread), kind="processor", nodes=(int(r),))
+        for i, r in enumerate(ranks[:dead_procs])
+    ] + [
+        FaultEvent(step=1 + (i % spread), kind="module", nodes=(int(r),))
+        for i, r in enumerate(ranks[dead_procs:])
+    ]
+    faults = FaultInjector(scheme, schedule=schedule, seed=seed)
+    proto = AccessProtocol(scheme, engine=engine, faults=faults)
+    stream = []
+    for _ in range(steps):
+        variables = rng.choice(scheme.num_variables, size=n, replace=False)
+        if rng.random() < 0.5:
+            values = rng.integers(0, 10**9, n)
+            stream.append(StepRequest("write", variables, values))
+        else:
+            stream.append(StepRequest("read", variables))
+    results = proto.run_steps(stream, on_error="record")
+
+    shadow: dict[int, int] = {}
+    delivered = refused = reassigned = 0
+    for request, res in zip(stream, results):
+        if isinstance(res, StepError):
+            # Refusals are all-or-nothing: memory (and hence the shadow)
+            # must be exactly as if the step never happened.
+            refused += 1
+            continue
+        delivered += 1
+        reassigned += len(res.reassignments)
+        if request.op == "write":
+            shadow.update(
+                zip(
+                    np.asarray(request.variables).tolist(),
+                    np.asarray(request.values).tolist(),
+                )
+            )
+        else:
+            expect = np.array(
+                [shadow.get(int(v), 0) for v in request.variables]
+            )
+            assert np.array_equal(res.values, expect), (
+                "stale read in degraded mode!"
+            )
+    return [
+        engine,
+        seed,
+        dead_procs,
+        dead_modules,
+        f"{delivered}/{steps}",
+        refused,
+        reassigned,
+    ]
+
+
+def _sweep():
+    rows = []
+    for seed, (procs, modules) in enumerate(
+        [(0, 0), (2, 0), (6, 0), (2, 2), (6, 4)], start=1
+    ):
+        rows.append(
+            _degraded_run("model", seed, 12, procs, modules)
+        )
+    rows.append(_degraded_run("cycle", 7, 6, 3, 2))
+    return rows
+
+
+def test_e18_degraded_mode(benchmark):
+    rows = run_once(benchmark, _sweep)
+    report(
+        benchmark,
+        "E18 (extension): mid-run deaths - delivered steps stay consistent",
+        ["engine", "seed", "dead procs", "dead modules", "delivered",
+         "refused", "reassigned"],
+        rows,
+    )

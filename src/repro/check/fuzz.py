@@ -203,9 +203,10 @@ def shrink_case(
 
     ``fails(candidate)`` must return truthy while the failure persists.
     Passes, repeated to a fixpoint within the attempt budget: drop whole
-    steps, clear the fault set, then binary-chop each step's request
-    list (halves first, single requests second).  The result still
-    satisfies ``fails``.
+    steps, clear each fault dimension (memory faults, processor faults,
+    mid-run schedule), then binary-chop each step's request list (halves
+    first, single requests second).  The result still satisfies
+    ``fails``.
     """
     attempts = 0
 
@@ -225,12 +226,15 @@ def shrink_case(
                 case = cand
                 improved = True
                 break
-        # Pass 2: clear faults.
-        if case.failed_nodes:
-            cand = replace(case, failed_nodes=())
-            if try_candidate(cand):
-                case = cand
-                improved = True
+        # Pass 2: clear fault state, one dimension at a time (memory
+        # faults, processor faults, mid-run schedule), so the surviving
+        # dimension is exactly the one the divergence needs.
+        for fault_field in ("failed_nodes", "failed_processors", "fault_schedule"):
+            if getattr(case, fault_field):
+                cand = replace(case, **{fault_field: ()})
+                if try_candidate(cand):
+                    case = cand
+                    improved = True
         # Pass 3: shrink request lists, coarse halves then singles.
         for si, step in enumerate(case.steps):
             size = len(step.variables)
@@ -260,6 +264,7 @@ def run_fuzz_parallel(
     cases: int = 50,
     *,
     workers: int = 1,
+    profile: str = "default",
     artifact_dir: str | Path = DEFAULT_ARTIFACT_DIR,
 ) -> FuzzReport:
     """Sweep-runner fuzz campaign: direct case generation, sharded
@@ -270,14 +275,16 @@ def run_fuzz_parallel(
     come from a seeded NumPy stream (no Hypothesis engine in the loop)
     and shards run on a process pool whose workers share the HMOS
     artifact cache (:mod:`repro.parallel`).  Deterministic in
-    ``(seed, cases)``; the worker count only changes wall-clock, not the
-    case stream or which failure is reported (lowest campaign index
-    wins).
+    ``(seed, cases, profile)``; the worker count only changes
+    wall-clock, not the case stream or which failure is reported (lowest
+    campaign index wins).  ``profile`` selects the generator mix (see
+    :data:`repro.check.generate.PROFILES`): ``"fault-heavy"`` makes
+    every case carry processor faults and a mid-run fault schedule.
     """
     from repro.check.generate import random_cases
     from repro.parallel import parallel_map
 
-    specs = random_cases(seed, cases)
+    specs = random_cases(seed, cases, profile)
     # Contiguous shards; one pickle round-trip per worker, not per case.
     shard_count = max(1, min(workers, len(specs)))
     bounds = [

@@ -23,13 +23,15 @@ import numpy as np
 
 from repro.check.case import CaseSpec, StepSpec
 from repro.hmos.adversary import (
+    doomed_processor_requests,
     majority_collision_requests,
     module_collision_requests,
 )
+from repro.hmos.faults import EVENT_KINDS, FaultEvent
 from repro.hmos.params import HMOSParams
 from repro.hmos.scheme import HMOS
 
-__all__ = ["feasible_configs", "random_case", "random_cases"]
+__all__ = ["PROFILES", "feasible_configs", "random_case", "random_cases"]
 
 #: Bounds keeping one fuzz case under ~100 ms: small meshes, capped
 #: memory (the invariants are size-uniform; the theorems' asymptotics
@@ -41,8 +43,16 @@ K_CHOICES = (1, 2, 3)
 MAX_VARIABLES = 20_000
 MAX_STEPS = 4
 MAX_FAULTS = 3
+MAX_SCHEDULE_EVENTS = 2
 CURVES = ("morton", "hilbert")
-WORKLOADS = ("uniform", "module", "majority")
+WORKLOADS = ("uniform", "module", "majority", "doomed")
+
+#: Generator profiles: ``default`` mixes fault-free and faulty cases;
+#: ``fault-heavy`` guarantees every case carries static processor
+#: faults AND a mid-run fault schedule (plus an elevated memory-fault
+#: budget) — the CI slice exercising the degraded-mode machinery on
+#: every single case.
+PROFILES = ("default", "fault-heavy")
 
 
 @lru_cache(maxsize=1)
@@ -83,12 +93,24 @@ def _request_count(rng: np.random.Generator, n: int) -> int:
 
 
 def _random_step(
-    rng: np.random.Generator, n: int, alpha: float, q: int, k: int
+    rng: np.random.Generator,
+    n: int,
+    alpha: float,
+    q: int,
+    k: int,
+    doomed: tuple[int, ...] = (),
 ) -> StepSpec:
-    """One memory step against the given configuration."""
+    """One memory step against the given configuration.
+
+    ``doomed`` carries the processor ranks the case's fault state will
+    kill (static + scheduled), so the ``doomed`` workload can aim its
+    concentration at exactly the requests that will be reassigned.
+    """
     scheme = _scheme_for(n, alpha, q, k)
     num_vars = scheme.num_variables
     workload = WORKLOADS[rng.integers(len(WORKLOADS))]
+    if workload == "doomed" and not doomed:
+        workload = "module"  # nothing to doom; fall back to the module attack
     if workload == "uniform":
         count = _request_count(rng, n)
         variables = tuple(
@@ -96,7 +118,12 @@ def _random_step(
         )
     else:
         count = _request_count(rng, n)
-        if workload == "module":
+        if workload == "doomed":
+            module = int(rng.integers(scheme.placement.graphs[0].num_outputs))
+            picked = doomed_processor_requests(
+                scheme, count, doomed=doomed, module=module
+            )
+        elif workload == "module":
             graph = scheme.placement.graphs[0]
             module = int(rng.integers(graph.num_outputs))
             picked = module_collision_requests(scheme, count, module=module)
@@ -125,24 +152,77 @@ def _random_step(
     )
 
 
-def random_case(rng: np.random.Generator) -> CaseSpec:
+def _random_schedule(
+    rng: np.random.Generator, n: int, n_steps: int, *, minimum: int
+) -> tuple[FaultEvent, ...]:
+    """0..MAX_SCHEDULE_EVENTS mid-run fault events.
+
+    Event steps are drawn from ``[0, n_steps]`` *inclusive* — step 0
+    (death before anything runs) and ``n_steps`` (death scheduled past
+    the end of the stream, which must never fire) are both edge cases
+    the oracle is expected to handle.
+    """
+    n_events = int(rng.integers(minimum, MAX_SCHEDULE_EVENTS + 1))
+    events = []
+    for _ in range(n_events):
+        step = int(rng.integers(0, n_steps + 1))
+        kind = EVENT_KINDS[rng.integers(len(EVENT_KINDS))]
+        size = int(rng.integers(1, 3))
+        nodes = tuple(
+            int(x) for x in sorted(rng.choice(n, size=size, replace=False))
+        )
+        events.append(FaultEvent(step=step, kind=kind, nodes=nodes))
+    return tuple(events)
+
+
+def random_case(rng: np.random.Generator, profile: str = "default") -> CaseSpec:
     """A full differential-oracle scenario drawn from ``rng``."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    heavy = profile == "fault-heavy"
     configs = feasible_configs()
     n, alpha, q, k = configs[rng.integers(len(configs))]
     curve = CURVES[rng.integers(len(CURVES))]
-    n_faults = int(rng.integers(0, MAX_FAULTS + 1))
+    n_faults = int(rng.integers(1 if heavy else 0, MAX_FAULTS + 1))
     failed = tuple(
         int(x) for x in sorted(rng.choice(n, size=n_faults, replace=False))
     )
+    n_procs = int(rng.integers(1 if heavy else 0, MAX_FAULTS + 1))
+    failed_procs = tuple(
+        int(x) for x in sorted(rng.choice(n, size=n_procs, replace=False))
+    )
     n_steps = int(rng.integers(1, MAX_STEPS + 1))
-    steps = tuple(_random_step(rng, n, alpha, q, k) for _ in range(n_steps))
+    schedule = _random_schedule(rng, n, n_steps, minimum=1 if heavy else 0)
+    doomed = tuple(
+        sorted(
+            set(failed_procs).union(
+                node
+                for e in schedule
+                if e.kind == "processor"
+                for node in e.nodes
+            )
+        )
+    )
+    steps = tuple(
+        _random_step(rng, n, alpha, q, k, doomed=doomed) for _ in range(n_steps)
+    )
     return CaseSpec(
-        n=n, alpha=alpha, q=q, k=k, curve=curve, failed_nodes=failed, steps=steps
+        n=n,
+        alpha=alpha,
+        q=q,
+        k=k,
+        curve=curve,
+        failed_nodes=failed,
+        failed_processors=failed_procs,
+        fault_schedule=schedule,
+        steps=steps,
     )
 
 
-def random_cases(seed: int, count: int) -> list[CaseSpec]:
-    """``count`` cases, deterministic in ``seed`` (independent of worker
-    count — the stream is drawn up front, then sharded)."""
+def random_cases(
+    seed: int, count: int, profile: str = "default"
+) -> list[CaseSpec]:
+    """``count`` cases, deterministic in ``(seed, profile)`` (independent
+    of worker count — the stream is drawn up front, then sharded)."""
     rng = np.random.default_rng(seed)
-    return [random_case(rng) for _ in range(count)]
+    return [random_case(rng, profile) for _ in range(count)]

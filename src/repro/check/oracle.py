@@ -46,6 +46,17 @@ set contains an unrecoverable variable must raise ``RuntimeError`` from
 *both* engines — one engine failing while the other succeeds is itself a
 divergence.  Consistently-refused steps are recorded as skipped.
 
+Processor faults and mid-run schedules extend the two-sided rule to
+degraded mode: each engine carries its own independently-built
+:class:`FaultInjector` (same masks, same schedule), and at every step
+boundary the oracle checks that both engines made the *same*
+reassignment choices — and that those choices equal the deterministic
+round-robin rule replayed by the oracle's own reference injector.  The
+injected-load invariant generalizes: the first stage's ``delta_in``
+must equal the max per-origin packet count implied by the selected
+copies and the reassignment map (which reduces to the largest target
+set when no processor is dead).
+
 The ``corrupt_read`` hook exists so the harness can be tested against
 itself: it mutates the cycle engine's returned values before comparison,
 standing in for a value-corrupting bug anywhere in the stack.
@@ -131,12 +142,12 @@ class DifferentialOracle:
         self._model_scheme = HMOS(
             n=case.n, alpha=case.alpha, q=case.q, k=case.k, curve=case.curve
         )
-        cycle_faults = model_faults = None
-        if case.failed_nodes:
-            cycle_faults = FaultInjector(self._cycle_scheme)
-            cycle_faults.fail_nodes(np.asarray(case.failed_nodes, dtype=np.int64))
-            model_faults = FaultInjector(self._model_scheme)
-            model_faults.fail_nodes(np.asarray(case.failed_nodes, dtype=np.int64))
+        cycle_faults = self._build_injector(self._cycle_scheme)
+        model_faults = self._build_injector(self._model_scheme)
+        # A third, engine-independent injector replays the schedule so
+        # the oracle can recompute the expected reassignment map itself
+        # (agreement must hold three ways, not just cycle-vs-model).
+        self._ref_faults = self._build_injector(self._cycle_scheme)
         self._cycle = AccessProtocol(
             self._cycle_scheme, engine="cycle", faults=cycle_faults
         )
@@ -144,6 +155,21 @@ class DifferentialOracle:
             self._model_scheme, engine="model", faults=model_faults
         )
         self._reference = np.zeros(self._cycle_scheme.num_variables, dtype=np.int64)
+
+    def _build_injector(self, scheme: HMOS) -> FaultInjector | None:
+        case = self.case
+        if not (
+            case.failed_nodes or case.failed_processors or case.fault_schedule
+        ):
+            return None
+        injector = FaultInjector(scheme, schedule=case.fault_schedule)
+        if case.failed_nodes:
+            injector.fail_nodes(np.asarray(case.failed_nodes, dtype=np.int64))
+        if case.failed_processors:
+            injector.fail_processors(
+                np.asarray(case.failed_processors, dtype=np.int64)
+            )
+        return injector
 
     # -- execution ---------------------------------------------------------
 
@@ -175,9 +201,17 @@ class DifferentialOracle:
         for index, (step, cycle_res, model_res) in enumerate(
             zip(self.case.steps, cycle_results, model_results)
         ):
-            outcomes.append(
-                self._judge_step(index, step, cycle_res, model_res)
-            )
+            # Replay the fault schedule on the reference injector in
+            # lockstep with the engines' own step clocks.
+            if self._ref_faults is not None:
+                self._ref_faults.apply_due_events()
+            try:
+                outcomes.append(
+                    self._judge_step(index, step, cycle_res, model_res)
+                )
+            finally:
+                if self._ref_faults is not None:
+                    self._ref_faults.advance_clock()
         return OracleReport(case=self.case, outcomes=tuple(outcomes))
 
     def _judge_step(self, index, step, cycle_res, model_res) -> StepOutcome:
@@ -206,9 +240,16 @@ class DifferentialOracle:
 
         self._check_values(index, step, variables, cycle_res, model_res)
         self._check_cross_engine(index, step, cycle_res, model_res)
+        self._check_reassignments(index, step, variables, cycle_res, model_res)
         for engine, res in (("cycle", cycle_res), ("model", model_res)):
             self._check_stage_invariants(index, step, engine, res)
-        if not self.case.failed_nodes:
+        # Theorem 3's cap assumes undamaged memory; processor faults
+        # leave copy selection untouched, so only memory faults (static
+        # or scheduled) suspend the audit.
+        memory_faults = self.case.failed_nodes or any(
+            e.kind == "module" for e in self.case.fault_schedule
+        )
+        if not memory_faults:
             try:
                 audit_theorem3(
                     self._cycle_scheme, variables, cycle_res.culling.selected
@@ -300,6 +341,43 @@ class DifferentialOracle:
                 f"{model_res.return_steps} != forward {forward_total}",
             )
 
+    def _check_reassignments(self, index, step, variables, cycle_res, model_res):
+        """Two-sided + reference agreement on degraded-mode choices.
+
+        Both engines must reassign the *same* requests to the *same*
+        surviving proxies, and those choices must equal the
+        deterministic round-robin rule replayed on the oracle's own
+        injector (same masks, same schedule, same clock)."""
+        if cycle_res.reassignments != model_res.reassignments:
+            self._fail(
+                index,
+                step,
+                "engines disagree on reassignment targets: "
+                f"{cycle_res.reassignments} vs {model_res.reassignments}",
+            )
+        if self._ref_faults is not None and self._ref_faults.failed_processors.size:
+            try:
+                rmap = self._ref_faults.requester_map(variables.size)
+            except RuntimeError:
+                self._fail(
+                    index,
+                    step,
+                    "every processor is dead but neither engine refused",
+                )
+            moved = np.nonzero(
+                rmap != np.arange(variables.size, dtype=np.int64)
+            )[0]
+            expected = tuple((int(i), int(rmap[i])) for i in moved)
+        else:
+            expected = ()
+        if cycle_res.reassignments != expected:
+            self._fail(
+                index,
+                step,
+                "reassignment deviates from the deterministic rule: "
+                f"got {cycle_res.reassignments}, expected {expected}",
+            )
+
     def _check_stage_invariants(self, index, step, engine, res: AccessResult):
         params = self._cycle_scheme.params
         stages = res.stages
@@ -327,13 +405,27 @@ class DifferentialOracle:
                     f"{stages[i + 1].stage}: delta_in {stages[i + 1].delta_in} "
                     f"!= previous delta_out {stages[i].delta_out}",
                 )
-        max_target = int(res.culling.selected.sum(axis=1).max(initial=0))
-        if stages and stages[0].delta_in != max_target:
+        # Injected load: the max per-origin packet count implied by the
+        # selected copies and the reassignment map.  Fault-free this is
+        # the largest target set (each variable has its own origin);
+        # under processor faults proxies aggregate several variables.
+        rows, _ = np.nonzero(res.culling.selected)
+        requesters = np.arange(res.culling.selected.shape[0], dtype=np.int64)
+        for position, proxy in res.reassignments:
+            requesters[position] = proxy
+        origins = requesters[rows]
+        expected_load = (
+            int(np.bincount(origins, minlength=params.n).max())
+            if origins.size
+            else 0
+        )
+        if stages and stages[0].delta_in != expected_load:
             self._fail(
                 index,
                 step,
-                f"{engine} engine injected load {stages[0].delta_in} != largest "
-                f"target set {max_target} (packets dropped or duplicated)",
+                f"{engine} engine injected load {stages[0].delta_in} != max "
+                f"per-origin packet count {expected_load} (packets dropped, "
+                f"duplicated, or mis-reassigned)",
             )
         if any(s.sort_steps < 0 or s.route_steps < 0 for s in stages) or (
             res.return_steps < 0

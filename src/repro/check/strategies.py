@@ -27,16 +27,19 @@ from repro.check.generate import feasible_configs
 from repro.check.generate import (  # single source of truth for bounds
     CURVES as _CURVES,
     MAX_FAULTS as _MAX_FAULTS,
+    MAX_SCHEDULE_EVENTS as _MAX_SCHEDULE_EVENTS,
     MAX_STEPS as _MAX_STEPS,
     WORKLOADS as _WORKLOADS,
 )
 from repro.hmos.adversary import (
+    doomed_processor_requests,
     majority_collision_requests,
     module_collision_requests,
 )
+from repro.hmos.faults import EVENT_KINDS, FaultEvent
 from repro.hmos.scheme import HMOS
 
-__all__ = ["case_specs", "feasible_configs", "step_specs"]
+__all__ = ["case_specs", "fault_events", "feasible_configs", "step_specs"]
 
 
 @lru_cache(maxsize=None)
@@ -47,11 +50,25 @@ def _scheme_for(n: int, alpha: float, q: int, k: int) -> HMOS:
 
 
 @st.composite
-def step_specs(draw, n: int, alpha: float, q: int, k: int) -> StepSpec:
-    """One memory step against the given configuration."""
+def step_specs(
+    draw,
+    n: int,
+    alpha: float,
+    q: int,
+    k: int,
+    doomed: tuple[int, ...] = (),
+) -> StepSpec:
+    """One memory step against the given configuration.
+
+    ``doomed`` carries the processor ranks the case's fault state will
+    kill, targeted by the ``doomed`` workload (see
+    :func:`repro.hmos.adversary.doomed_processor_requests`).
+    """
     scheme = _scheme_for(n, alpha, q, k)
     num_vars = scheme.num_variables
     workload = draw(st.sampled_from(_WORKLOADS))
+    if workload == "doomed" and not doomed:
+        workload = "module"  # nothing to doom; fall back to the module attack
     if workload == "uniform":
         variables = tuple(
             draw(
@@ -65,7 +82,14 @@ def step_specs(draw, n: int, alpha: float, q: int, k: int) -> StepSpec:
         )
     else:
         count = draw(st.integers(1, n))
-        if workload == "module":
+        if workload == "doomed":
+            module = draw(
+                st.integers(0, scheme.placement.graphs[0].num_outputs - 1)
+            )
+            picked = doomed_processor_requests(
+                scheme, count, doomed=doomed, module=module
+            )
+        elif workload == "module":
             graph = scheme.placement.graphs[0]
             module = draw(st.integers(0, graph.num_outputs - 1))
             picked = module_collision_requests(scheme, count, module=module)
@@ -109,6 +133,30 @@ def step_specs(draw, n: int, alpha: float, q: int, k: int) -> StepSpec:
 
 
 @st.composite
+def fault_events(draw, n: int) -> FaultEvent:
+    """One mid-run fault event.
+
+    Steps range over ``[0, MAX_STEPS]`` *inclusive*: step 0 (death
+    before anything runs) and a step at/past the end of the stream
+    (which must never fire) are both edge cases the oracle must handle.
+    """
+    return FaultEvent(
+        step=draw(st.integers(0, _MAX_STEPS)),
+        kind=draw(st.sampled_from(EVENT_KINDS)),
+        nodes=tuple(
+            draw(
+                st.lists(
+                    st.integers(0, n - 1),
+                    min_size=1,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+        ),
+    )
+
+
+@st.composite
 def case_specs(draw) -> CaseSpec:
     """A full differential-oracle scenario."""
     n, alpha, q, k = draw(st.sampled_from(feasible_configs()))
@@ -122,10 +170,37 @@ def case_specs(draw) -> CaseSpec:
             )
         )
     )
+    failed_procs = tuple(
+        draw(
+            st.lists(
+                st.integers(0, n - 1),
+                max_size=_MAX_FAULTS,
+                unique=True,
+            )
+        )
+    )
+    schedule = tuple(
+        draw(
+            st.lists(
+                fault_events(n),
+                max_size=_MAX_SCHEDULE_EVENTS,
+            )
+        )
+    )
+    doomed = tuple(
+        sorted(
+            set(failed_procs).union(
+                node
+                for e in schedule
+                if e.kind == "processor"
+                for node in e.nodes
+            )
+        )
+    )
     steps = tuple(
         draw(
             st.lists(
-                step_specs(n, alpha, q, k),
+                step_specs(n, alpha, q, k, doomed=doomed),
                 min_size=1,
                 max_size=_MAX_STEPS,
             )
@@ -138,5 +213,7 @@ def case_specs(draw) -> CaseSpec:
         k=k,
         curve=curve,
         failed_nodes=failed,
+        failed_processors=failed_procs,
+        fault_schedule=schedule,
         steps=steps,
     )

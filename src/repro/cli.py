@@ -7,7 +7,7 @@ Commands
 ``route``    compare routing strategies on a skewed instance
 ``scaling``  sweep n and report measured scaling exponents
 ``run``      assemble and execute a PRAM assembly program on the mesh
-``experiments``  list or execute the E1..E17 reproduction suite
+``experiments``  list or execute the E1..E18 reproduction suite
 ``check``    differential verification: fuzz the stack against the PRAM
              oracle, or replay a recorded divergence artifact
 ``cache``    inspect or clear the on-disk HMOS artifact cache
@@ -23,6 +23,7 @@ import sys
 import numpy as np
 
 from repro.analysis import fit_power_law, simulation_time_bound
+from repro.check.generate import PROFILES as _PROFILES
 from repro.hmos import HMOS, module_collision_requests
 from repro.mesh import Mesh, PacketBatch, Tessellation, route_direct, route_via_submeshes
 from repro.pram import MeshBackend, PRAMMachine
@@ -54,9 +55,54 @@ def _add_shards_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fail-nodes", default=None, metavar="IDS",
+        help="comma-separated memory-node ids failed from step 0",
+    )
+    parser.add_argument(
+        "--fail-processors", default=None, metavar="IDS",
+        help="comma-separated processor ranks failed from step 0 "
+        "(their requests are reassigned to survivors)",
+    )
+    parser.add_argument(
+        "--fail-at", action="append", default=None, metavar="STEP:KIND:IDS",
+        help="mid-run fault event, e.g. 2:proc:5 or 1:mem:0,3 "
+        "(repeatable; applied before step STEP executes)",
+    )
+
+
+def _build_injector(scheme, args):
+    """FaultInjector from the --fail-* flags, or None when all unset."""
+    from repro.hmos.faults import FaultInjector, parse_fault_event
+
+    schedule = [parse_fault_event(text) for text in (args.fail_at or ())]
+    nodes = (
+        [int(x) for x in args.fail_nodes.split(",")] if args.fail_nodes else []
+    )
+    procs = (
+        [int(x) for x in args.fail_processors.split(",")]
+        if args.fail_processors
+        else []
+    )
+    if not (schedule or nodes or procs):
+        return None
+    injector = FaultInjector(scheme, schedule=schedule)
+    if nodes:
+        injector.fail_nodes(nodes)
+    if procs:
+        injector.fail_processors(procs)
+    return injector
+
+
 def _cmd_step(args) -> int:
+    from repro.protocol.access import StepError, StepRequest
+
     scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
-    proto = AccessProtocol(scheme, engine=args.engine, shards=args.shards)
+    faults = _build_injector(scheme, args)
+    proto = AccessProtocol(
+        scheme, engine=args.engine, shards=args.shards, faults=faults
+    )
     if args.workload == "adversarial":
         variables = module_collision_requests(scheme, args.n)
     else:
@@ -64,9 +110,21 @@ def _cmd_step(args) -> int:
             (np.arange(args.n, dtype=np.int64) * 7919) % scheme.num_variables
         )[: args.n]
     if args.op == "write":
-        res = proto.write(variables, variables, timestamp=1)
+        step = StepRequest("write", variables, variables)
     else:
-        res = proto.read(variables)
+        step = StepRequest("read", variables)
+    # One-element stream through run_steps so a --fail-at 0:... event
+    # fires and a consistency-preserving refusal reports instead of
+    # crashing (fault-free behaviour is identical to a direct call).
+    (res,) = proto.run_steps([step], on_error="record")
+    if isinstance(res, StepError):
+        print(f"step refused: {res.message}", file=sys.stderr)
+        return 1
+    if faults is not None and faults.failed_processors.size:
+        print(
+            f"degraded mode: {faults.failed_processors.size} dead "
+            f"processor(s), {len(res.reassignments)} request(s) reassigned"
+        )
     rows = [
         [f"stage {s.stage}", s.t_nodes, s.delta_in, s.delta_out,
          f"{s.sort_steps:.0f}", f"{s.route_steps:.0f}"]
@@ -136,12 +194,20 @@ def _cmd_run(args) -> int:
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
     program = assemble(source)
     scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
+    faults = _build_injector(scheme, args)
     machine = PRAMMachine(
-        MeshBackend(scheme, engine=args.engine, shards=args.shards), args.n
+        MeshBackend(
+            scheme, engine=args.engine, shards=args.shards, faults=faults
+        ),
+        args.n,
     )
     if args.data:
         machine.scatter(0, np.array([int(x) for x in args.data.split(",")]))
-    state = Interpreter(machine).run(program)
+    try:
+        state = Interpreter(machine).run(program)
+    except RuntimeError as exc:
+        print(f"run refused: {exc}", file=sys.stderr)
+        return 1
     print(f"halted after {state.rounds} rounds "
           f"({state.read_steps} read + {state.write_steps} write steps, "
           f"{machine.cost:.0f} mesh steps)")
@@ -163,15 +229,18 @@ def _cmd_experiments(args) -> int:
 
 def _cmd_check(args) -> int:
     if args.check_command == "fuzz":
-        if args.workers and args.workers > 1:
+        if (args.workers and args.workers > 1) or args.profile != "default":
             # Sweep-runner path: direct case generation + process pool
             # over the shared artifact cache (no hypothesis needed).
+            # Non-default profiles only exist on this path, so they take
+            # it even at --workers 1.
             from repro.check.fuzz import run_fuzz_parallel
 
             report = run_fuzz_parallel(
                 seed=args.seed,
                 cases=args.cases,
                 workers=args.workers,
+                profile=args.profile,
                 artifact_dir=args.dir,
             )
             print(report.summary())
@@ -224,12 +293,16 @@ def _cmd_trace(args) -> int:
 
     if args.trace_command == "run":
         from repro.protocol import SimulationReport
+        from repro.protocol.access import StepError
 
         scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
-        proto = AccessProtocol(scheme, engine=args.engine, shards=args.shards)
+        faults = _build_injector(scheme, args)
+        proto = AccessProtocol(
+            scheme, engine=args.engine, shards=args.shards, faults=faults
+        )
         steps = _trace_workload(scheme, args)
         with obs.capture() as tracer:
-            results = proto.run_steps(steps)
+            results = proto.run_steps(steps, on_error="record")
         out = obs.write_jsonl(tracer, args.out)
         print(f"trace: {len(tracer.events)} events -> {out}")
         if args.perfetto:
@@ -237,8 +310,11 @@ def _cmd_trace(args) -> int:
             print(f"perfetto: open {chrome} at https://ui.perfetto.dev")
         print()
         print(obs.stage_table(tracer.events))
+        refused = [r for r in results if isinstance(r, StepError)]
+        for err in refused:
+            print(f"step {err.index} refused: {err.message}")
         report = SimulationReport()
-        report.extend(results)
+        report.extend(r for r in results if not isinstance(r, StepError))
         trace_bd = obs.stage_breakdown(tracer.events)
         report_bd = report.breakdown()
         agree = all(
@@ -291,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("step", help="simulate one PRAM memory step")
     _add_scheme_args(p)
     _add_shards_arg(p)
+    _add_fault_args(p)
     p.add_argument("--engine", choices=["cycle", "model"], default="cycle")
     p.add_argument("--workload", choices=["uniform", "adversarial"], default="uniform")
     p.add_argument("--op", choices=["read", "write"], default="read")
@@ -313,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=2)
     p.set_defaults(fn=_cmd_scaling)
 
-    p = sub.add_parser("experiments", help="list or run the E1..E17 experiments")
+    p = sub.add_parser("experiments", help="list or run the E1..E18 experiments")
     p.add_argument("--run", nargs="*", metavar="EID",
                    help="experiment ids to execute (default: list only)")
     p.add_argument("--workers", type=int, default=1,
@@ -342,6 +419,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool sweep runner with N workers (direct seeded "
         "generation instead of the hypothesis engine)",
     )
+    pf.add_argument(
+        "--profile",
+        choices=_PROFILES,
+        default="default",
+        help="generator mix: 'fault-heavy' makes every case carry "
+        "processor faults and a mid-run fault schedule (sweep-runner "
+        "path only; implies it even at --workers 1)",
+    )
     pf.set_defaults(fn=_cmd_check)
     pr = check_sub.add_parser("replay", help="re-execute a repro artifact")
     pr.add_argument("artifact", help="path to a divergence_*.json artifact")
@@ -356,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scheme_args(pt)
     _add_shards_arg(pt)
+    _add_fault_args(pt)
     pt.add_argument("--engine", choices=["cycle", "model"], default="cycle")
     pt.add_argument("--workload", choices=["uniform", "adversarial"],
                     default="uniform")
@@ -395,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="assembly file, or - for stdin")
     _add_scheme_args(p)
     _add_shards_arg(p)
+    _add_fault_args(p)
     p.add_argument("--engine", choices=["cycle", "model"], default="model")
     p.add_argument("--data", help="comma-separated ints preloaded at MEM[0]")
     p.add_argument("--dump", help="print MEM[0:N] after the run")

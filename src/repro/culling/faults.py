@@ -12,7 +12,7 @@ target sets intersect).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,9 +26,25 @@ __all__ = ["FaultyCullingResult", "cull_with_faults"]
 
 @dataclass(frozen=True)
 class FaultyCullingResult(CullingResult):
-    """CULLING output plus fault bookkeeping."""
+    """CULLING output plus fault bookkeeping.
 
-    start_levels: np.ndarray = None  # type: ignore[assignment]
+    ``start_levels[j]`` is the strongest (lowest) tree level whose
+    target-set thresholds variable ``j``'s surviving copies still meet
+    (0 = undamaged).  After ``__post_init__`` the field is always a 1-D
+    int64 ndarray aligned with ``variables`` — never ``None`` (the
+    dataclass default exists only to satisfy inheritance from
+    :class:`CullingResult`, whose trailing field has a default)."""
+
+    start_levels: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "start_levels",
+            np.asarray(self.start_levels, dtype=np.int64).reshape(-1),
+        )
 
 
 def cull_with_faults(

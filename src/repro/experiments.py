@@ -1,4 +1,4 @@
-"""Registry of the reproduction experiments (E1..E17).
+"""Registry of the reproduction experiments (E1..E18).
 
 The experiment *implementations* live in ``benchmarks/`` (one
 pytest-benchmark file each, so tables and shape assertions run under
@@ -67,6 +67,8 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                        "design choice", "test_e16_curve_ablation.py"),
         ExperimentInfo("E17", "q = 3 minimizes redundancy and the time bound",
                        "Thm 4 proof", "test_e17_q_choice.py"),
+        ExperimentInfo("E18", "degraded mode: mid-run deaths, delivered steps consistent",
+                       "extension", "test_e18_degraded_mode.py"),
     ]
 }
 

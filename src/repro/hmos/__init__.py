@@ -19,8 +19,18 @@ Layers
   together; this is the main entry point of the public API.
 """
 
-from repro.hmos.adversary import majority_collision_requests, module_collision_requests
-from repro.hmos.faults import FaultInjector, write_survives
+from repro.hmos.adversary import (
+    doomed_processor_requests,
+    majority_collision_requests,
+    module_collision_requests,
+)
+from repro.hmos.faults import (
+    FaultEvent,
+    FaultInjector,
+    parse_fault_event,
+    reassign_requesters,
+    write_survives,
+)
 from repro.hmos.copytree import (
     access_mask,
     extract_min_target_set,
@@ -37,15 +47,19 @@ from repro.hmos.scheme import HMOS
 __all__ = [
     "HMOS",
     "CopyMemory",
+    "FaultEvent",
     "FaultInjector",
     "HMOSParams",
     "Placement",
     "access_mask",
+    "doomed_processor_requests",
     "extract_min_target_set",
     "is_target_set",
     "majority",
     "majority_collision_requests",
     "module_collision_requests",
+    "parse_fault_event",
+    "reassign_requesters",
     "supermajority",
     "target_set_size",
     "write_survives",

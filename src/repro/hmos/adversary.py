@@ -15,7 +15,11 @@ import numpy as np
 
 from repro.hmos.scheme import HMOS
 
-__all__ = ["module_collision_requests", "majority_collision_requests"]
+__all__ = [
+    "doomed_processor_requests",
+    "module_collision_requests",
+    "majority_collision_requests",
+]
 
 
 def module_collision_requests(
@@ -62,6 +66,55 @@ def module_collision_requests(
             f"has only {total} distinct variables, {count} requested"
         )
     return np.concatenate(picked)[:count]
+
+
+def doomed_processor_requests(
+    scheme: HMOS, count: int, *, doomed, module: int = 0
+) -> np.ndarray:
+    """Concentrate the module-collision attack on soon-to-die processors.
+
+    Requester ``j`` issues the request at position ``j``, so an
+    adversary that knows which processors a fault schedule will kill
+    (``doomed`` ranks) places the single-module colliding variables at
+    exactly those positions and benign, spread-out variables everywhere
+    else.  When the deaths fire, *every* reassigned request is one of
+    the concentrated ones: the surviving proxies inherit the
+    worst-case page congestion on top of their own load — the hardest
+    degraded-mode scenario the reassignment rule must absorb.
+
+    Fully deterministic (no RNG): the benign filler walks the variable
+    space with a fixed co-prime stride, skipping the hot set.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if count > scheme.params.n:
+        raise ValueError("a PRAM step has at most n requests")
+    doomed_ranks = sorted({int(d) for d in np.asarray(doomed, dtype=np.int64)})
+    if any(d < 0 or d >= scheme.params.n for d in doomed_ranks):
+        raise ValueError("doomed rank out of range")
+    positions = [d for d in doomed_ranks if d < count]
+    hot = (
+        module_collision_requests(scheme, len(positions), module=module)
+        if positions
+        else np.zeros(0, dtype=np.int64)
+    )
+    hot_set = set(hot.tolist())
+    out = np.full(count, -1, dtype=np.int64)
+    out[positions] = hot
+    num_vars = scheme.num_variables
+    stride = 7919 if num_vars % 7919 else 7927  # co-prime walk
+    cursor = 0
+    for pos in range(count):
+        if out[pos] >= 0:
+            continue
+        while True:
+            candidate = (cursor * stride) % num_vars
+            cursor += 1
+            if candidate not in hot_set:
+                hot_set.add(candidate)  # also bars reuse by later fillers
+                out[pos] = candidate
+                break
+    return out
 
 
 def majority_collision_requests(

@@ -118,6 +118,7 @@ def access_result_to_dict(result: AccessResult) -> dict[str, Any]:
         "culling_steps": float(result.culling.charged_steps),
         "return_steps": float(result.return_steps),
         "selected_copies": int(result.culling.total_selected),
+        "reassigned": len(result.reassignments),
         "stages": [
             {
                 "stage": s.stage,
@@ -181,6 +182,9 @@ class AccessRecord:
     selected_copies: int
     stages: tuple[StageRecord, ...]
     culling_iterations: tuple[CullingIterationRecord, ...]
+    #: Requests served by a proxy because their processor was dead
+    #: (0 in archives written before the degraded-mode extension).
+    reassigned: int = 0
 
     @property
     def protocol_steps(self) -> float:
@@ -199,6 +203,7 @@ class AccessRecord:
             "culling_steps": self.culling_steps,
             "return_steps": self.return_steps,
             "selected_copies": self.selected_copies,
+            "reassigned": self.reassigned,
             "stages": [asdict(s) for s in self.stages],
             "culling_iterations": [asdict(it) for it in self.culling_iterations],
         }
@@ -225,6 +230,7 @@ def access_result_from_dict(data: dict[str, Any]) -> AccessRecord:
             culling_steps=float(data["culling_steps"]),
             return_steps=float(data["return_steps"]),
             selected_copies=int(data["selected_copies"]),
+            reassigned=int(data.get("reassigned", 0)),
             stages=tuple(
                 StageRecord(
                     stage=int(s["stage"]),

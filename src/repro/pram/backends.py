@@ -41,6 +41,8 @@ class Backend(Protocol):
 
     def run_steps(self, requests: list[StepRequest]) -> list: ...  # noqa: E704
 
+    def live_processor_count(self) -> int: ...  # noqa: E704
+
 
 class IdealBackend:
     """Unit-cost shared memory: the reference PRAM semantics."""
@@ -52,6 +54,10 @@ class IdealBackend:
         self.max_requests = int(memory_size)
         self._mem = np.zeros(self.memory_size, dtype=np.int64)
         self.cost = 0.0
+
+    def live_processor_count(self) -> int:
+        """The ideal PRAM never loses processors."""
+        return self.max_requests
 
     def read_step(self, cells: np.ndarray) -> np.ndarray:
         self.cost += 1.0
@@ -107,6 +113,11 @@ class MeshBackend:
     shards : int, optional
         Submesh shard count for the cycle engine (forwarded to
         :class:`AccessProtocol`; ``None`` reads ``$REPRO_SHARDS``).
+    faults : FaultInjector, optional
+        Forwarded to :class:`AccessProtocol`; single-step calls tick
+        the injector's fault-schedule clock exactly like the batched
+        executor, so "dies at step t" means the backend's t-th memory
+        step no matter how the program is dispatched.
     """
 
     def __init__(
@@ -116,10 +127,12 @@ class MeshBackend:
         engine: str = "model",
         cost_model: CostModel | None = None,
         shards: int | None = None,
+        faults=None,
     ):
         self.scheme = scheme
         self.protocol = AccessProtocol(
-            scheme, engine=engine, cost_model=cost_model, shards=shards
+            scheme, engine=engine, cost_model=cost_model, shards=shards,
+            faults=faults,
         )
         self.memory_size = scheme.num_variables
         self.max_requests = scheme.params.n
@@ -127,16 +140,42 @@ class MeshBackend:
         self._time = 0
         self.access_log: list[AccessResult] = []
 
+    def live_processor_count(self) -> int:
+        """Processors still able to issue requests (n minus dead ranks)."""
+        faults = self.protocol.faults
+        if faults is None:
+            return self.max_requests
+        return int(self.max_requests - faults.failed_processors.size)
+
+    def _fault_boundary(self):
+        """Open one step boundary for a single-step call: apply due
+        scheduled deaths now; the matching clock advance runs in the
+        caller's ``finally`` (refusals count as elapsed steps too)."""
+        faults = self.protocol.faults
+        if faults is not None:
+            faults.apply_due_events()
+        return faults
+
     def read_step(self, cells: np.ndarray) -> np.ndarray:
         self._time += 1
-        res = self.protocol.read(cells)
+        faults = self._fault_boundary()
+        try:
+            res = self.protocol.read(cells)
+        finally:
+            if faults is not None:
+                faults.advance_clock()
         self.cost += res.total_steps
         self.access_log.append(res)
         return res.values
 
     def write_step(self, cells: np.ndarray, values: np.ndarray) -> None:
         self._time += 1
-        res = self.protocol.write(cells, values, timestamp=self._time)
+        faults = self._fault_boundary()
+        try:
+            res = self.protocol.write(cells, values, timestamp=self._time)
+        finally:
+            if faults is not None:
+                faults.advance_clock()
         self.cost += res.total_steps
         self.access_log.append(res)
 
@@ -157,7 +196,14 @@ class MeshBackend:
         for i, cell in enumerate(union.tolist()):
             if is_write[i]:
                 aligned[i] = w_pos[cell]
-        res = self.protocol.mixed(union, is_write, aligned, timestamp=self._time)
+        faults = self._fault_boundary()
+        try:
+            res = self.protocol.mixed(
+                union, is_write, aligned, timestamp=self._time
+            )
+        finally:
+            if faults is not None:
+                faults.advance_clock()
         self.cost += res.total_steps
         self.access_log.append(res)
         lookup = np.searchsorted(union, read_cells)

@@ -188,9 +188,27 @@ class PRAMMachine:
 
     # -- bulk helpers -------------------------------------------------------
 
+    def _live_processors(self) -> int:
+        """Processors currently able to issue a request.
+
+        Backends that track processor faults report their survivor
+        count; chunked bulk transfers size themselves to it, because a
+        dead processor cannot originate the request for its slot (its
+        share of the work lands on survivors — degraded mode costs more
+        steps instead of failing).  Refuses when nobody survives.
+        """
+        P = self.num_processors
+        if hasattr(self.backend, "live_processor_count"):
+            P = min(P, int(self.backend.live_processor_count()))
+        if P < 1:
+            raise RuntimeError(
+                "all processors failed: bulk transfer refused"
+            )
+        return P
+
     def scatter(self, base: int, values: np.ndarray) -> None:
         """Store ``values[i]`` at address ``base + i`` (one step if the
-        array fits the processor count, else several).
+        array fits the live processor count, else several).
 
         Chunks carry distinct consecutive addresses, so the whole
         transfer is conflict-free under every policy and goes through
@@ -201,13 +219,13 @@ class PRAMMachine:
             0 <= base and base + values.size <= self.backend.memory_size
         ):
             raise ValueError("address out of shared-memory range")
-        P = self.num_processors
+        P = self._live_processors()
         if not hasattr(self.backend, "run_steps"):
             for lo in range(0, values.size, P):  # duck-typed backends
                 chunk = values[lo : lo + P]
-                addrs = np.full(P, IDLE, dtype=np.int64)
+                addrs = np.full(self.num_processors, IDLE, dtype=np.int64)
                 addrs[: chunk.size] = base + lo + np.arange(chunk.size)
-                vals = np.zeros(P, dtype=np.int64)
+                vals = np.zeros(self.num_processors, dtype=np.int64)
                 vals[: chunk.size] = chunk
                 self.write(addrs, vals)
             return
@@ -223,15 +241,15 @@ class PRAMMachine:
 
     def gather(self, base: int, count: int) -> np.ndarray:
         """Fetch ``count`` consecutive cells starting at ``base`` (batched
-        like :meth:`scatter`)."""
+        like :meth:`scatter`, chunked to the live processor count)."""
         if count and not (0 <= base and base + count <= self.backend.memory_size):
             raise ValueError("address out of shared-memory range")
-        P = self.num_processors
+        P = self._live_processors()
         out = np.empty(count, dtype=np.int64)
         if not hasattr(self.backend, "run_steps"):
             for lo in range(0, count, P):  # duck-typed backends
                 size = min(P, count - lo)
-                addrs = np.full(P, IDLE, dtype=np.int64)
+                addrs = np.full(self.num_processors, IDLE, dtype=np.int64)
                 addrs[:size] = base + lo + np.arange(size)
                 out[lo : lo + size] = self.read(addrs)[:size]
             return out

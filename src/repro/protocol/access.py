@@ -90,6 +90,12 @@ class AccessResult:
         Forward-journey stages, outermost first.
     return_steps : float
         Cost of the destination->origin journey.
+    reassignments : tuple[tuple[int, int], ...]
+        Degraded-mode bookkeeping: ``(request_position, proxy_rank)``
+        for every request whose origin processor was dead and whose
+        packets were carried by a surviving proxy instead (empty on
+        fault-free steps).  Deterministic in (live set, seed, step) —
+        see :func:`repro.hmos.faults.reassign_requesters`.
     """
 
     op: str
@@ -98,6 +104,7 @@ class AccessResult:
     culling: CullingResult
     stages: tuple[StageMetrics, ...]
     return_steps: float
+    reassignments: tuple[tuple[int, int], ...] = ()
 
     @property
     def protocol_steps(self) -> float:
@@ -160,7 +167,12 @@ class AccessProtocol:
     faults : FaultInjector, optional
         When given, copy selection is restricted to surviving copies
         (extension beyond the paper; consistency is preserved as long as
-        every requested variable keeps a target set).
+        every requested variable keeps a target set), requests of dead
+        processors are reassigned to surviving ranks before CULLING,
+        and :meth:`run_steps` consults the injector's fault schedule at
+        every step boundary (mid-run deaths).  Availability and
+        liveness are recomputed from the injector's *current* state on
+        every step, never precomputed for a whole stream.
     reuse : bool, default True
         Thread CULLING's chain tensor into routing instead of
         recomputing ``placement.chains`` for the selected copies.
@@ -265,9 +277,17 @@ class AccessProtocol:
             Timestamp stamped on the first step's writes.
         on_error : {"raise", "record"}
             With ``"record"``, a consistency-preserving refusal
-            (``RuntimeError``, e.g. unrecoverable variables under
-            faults) yields a :class:`StepError` entry instead of
-            propagating; the stream continues with the next step.
+            (``RuntimeError``, e.g. unrecoverable variables or an
+            all-processors-dead state under faults) yields a
+            :class:`StepError` entry instead of propagating; the stream
+            continues with the next step.
+
+        Fault schedules: when the protocol carries a
+        :class:`FaultInjector` with a schedule, every step boundary
+        first applies the deaths due at the injector's step clock
+        ("node p dies at step t") and the clock advances whether the
+        step completed or was refused — so steps before the earliest
+        due event are bit-identical to a fault-free run.
 
         Returns
         -------
@@ -278,11 +298,14 @@ class AccessProtocol:
                 f"on_error must be 'raise' or 'record', got {on_error!r}"
             )
         tracer = _obs.current()
+        faults = self.faults
         results: list = []
         for index, step in enumerate(steps):
             op = step.op
             variables = step.variables
             timestamp = start_timestamp + index
+            if faults is not None:
+                faults.apply_due_events()
             try:
                 with tracer.span("protocol.step", index=index, op=op):
                     if op == "read":
@@ -314,6 +337,9 @@ class AccessProtocol:
                         message=str(exc),
                     )
                 )
+            finally:
+                if faults is not None:
+                    faults.advance_clock()
         return results
 
     # -- internals --------------------------------------------------------------
@@ -357,6 +383,26 @@ class AccessProtocol:
             if is_write.shape != variables.shape:
                 raise ValueError("is_write must align with variables")
 
+        # Degraded mode: requests of dead processors are handed to
+        # surviving ranks *before* CULLING (the proxy carries the
+        # packets; copy selection and memory semantics are untouched,
+        # so delivered values match the fault-free run exactly).  The
+        # map is recomputed from the injector's current state every
+        # step, so mid-run deaths take effect at the next boundary.
+        requesters = None
+        reassignments: tuple[tuple[int, int], ...] = ()
+        if self.faults is not None and self.faults.failed_processors.size:
+            tracer.count("protocol.dead_processor_steps")
+            requesters = self.faults.requester_map(variables.size)
+            moved = np.nonzero(
+                requesters != np.arange(variables.size, dtype=np.int64)
+            )[0]
+            reassignments = tuple(
+                (int(i), int(requesters[i])) for i in moved
+            )
+            if moved.size:
+                tracer.count("protocol.reassigned_requests", int(moved.size))
+
         if self.faults is not None and self.faults.failed_nodes.size:
             full_chains = None
             if self.reuse:
@@ -392,8 +438,12 @@ class AccessProtocol:
         copy_nodes = scheme.placement.copy_nodes(pkt_vars, pkt_paths, chains)
 
         # Origins: requester j sits at mesh node j (any fixed bijection
-        # between PRAM processors and mesh nodes works).
-        origins = rows.astype(np.int64)
+        # between PRAM processors and mesh nodes works); under processor
+        # faults the reassignment map substitutes the surviving proxy.
+        if requesters is not None:
+            origins = requesters[rows]
+        else:
+            origins = rows.astype(np.int64)
 
         k = params.k
         n = params.n
@@ -466,6 +516,17 @@ class AccessProtocol:
                 pkt_vars[w_rows], pkt_paths[w_rows], values[rows][w_rows], timestamp
             )
 
+        # A step is "degraded" when it completed but not at full
+        # strength: requests ran through proxies, or surviving copies
+        # forced weaker-than-level-0 starting target sets.
+        start_levels = getattr(culling_res, "start_levels", None)
+        if reassignments or (
+            start_levels is not None
+            and start_levels.size
+            and (start_levels > 0).any()
+        ):
+            tracer.count("protocol.degraded_steps")
+
         return AccessResult(
             op=op,
             variables=variables,
@@ -473,6 +534,7 @@ class AccessProtocol:
             culling=culling_res,
             stages=tuple(stages),
             return_steps=return_steps,
+            reassignments=reassignments,
         )
 
     def _emit_lane_spans(self, tracer, op, culling_res, stages, return_steps):

@@ -23,8 +23,12 @@ class TestOracleFuzz:
     def test_stack_matches_pram_semantics(self, case):
         report = run_case(case)
         assert report.steps_checked + report.steps_skipped == len(case.steps)
-        # Fault-free cases can never be refused.
-        if not case.failed_nodes:
+        # Fault-free cases can never be refused.  (Processor faults and
+        # scheduled deaths can: unrecoverable variables after a module
+        # event, or every processor dead.)
+        if not (
+            case.failed_nodes or case.failed_processors or case.fault_schedule
+        ):
             assert report.steps_skipped == 0
 
     def test_parameter_space_is_covered(self):

@@ -40,6 +40,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "adversarial" in out
 
+    def test_step_with_dead_processors(self, capsys):
+        assert main([
+            "step", "--n", "64", "--engine", "model",
+            "--fail-processors", "2,5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded mode: 2 dead processor(s)" in out
+        assert "2 request(s) reassigned" in out
+
+    def test_step_refused_when_all_processors_die(self, capsys):
+        assert main([
+            "step", "--n", "64", "--engine", "model",
+            "--fail-at", "0:proc:" + ",".join(str(i) for i in range(64)),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "step refused" in err and "all processors failed" in err
+
+    def test_step_rejects_bad_fault_event(self):
+        with pytest.raises(ValueError):
+            main(["step", "--n", "64", "--fail-at", "1:alien:2"])
+
+    def test_run_with_dead_processors(self, capsys, tmp_path):
+        prog = tmp_path / "double.asm"
+        prog.write_text(
+            "load r1, pid\nadd r1, r1, r1\nstore pid, r1\nhalt\n"
+        )
+        assert main([
+            "run", str(prog), "--n", "64", "--fail-processors", "1,2",
+            "--data", "1,2,3,4", "--dump", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[2, 4, 6, 8]" in out  # degraded run, same semantics
+
     def test_route(self, capsys):
         assert main(["route", "--side", "8", "--hot", "4"]) == 0
         out = capsys.readouterr().out
@@ -90,6 +123,21 @@ class TestCheckCommand:
         assert "zero divergences" in out
         assert not list(tmp_path.iterdir())  # clean run leaves no artifacts
 
+    def test_fuzz_fault_heavy_profile(self, capsys, tmp_path):
+        """--profile fault-heavy takes the sweep-runner path even at
+        --workers 1 and certifies cleanly."""
+        assert main([
+            "check", "fuzz", "--seed", "0", "--cases", "3",
+            "--profile", "fault-heavy", "--dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz ok: 3 cases" in out
+        assert not list(tmp_path.iterdir())
+
+    def test_fuzz_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "fuzz", "--profile", "bogus"])
+
     def test_replay_clean_artifact(self, capsys, tmp_path):
         from repro.check import CaseSpec, StepSpec, save_artifact
 
@@ -114,7 +162,7 @@ class TestExperimentsCommand:
         from repro.experiments import EXPERIMENTS, _benchmarks_dir
 
         bench_dir = _benchmarks_dir()
-        assert len(EXPERIMENTS) == 17
+        assert len(EXPERIMENTS) == 18
         for info in EXPERIMENTS.values():
             assert (bench_dir / info.bench).exists(), info.bench
 
@@ -145,6 +193,15 @@ class TestTraceCommand:
 
         data = json.loads(perfetto.read_text())
         assert data["traceEvents"]  # Perfetto-loadable payload
+
+    def test_run_with_mid_run_fault(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        assert main([
+            "trace", "run", "--n", "64", "--steps", "3",
+            "--fail-at", "1:proc:0", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "agree" in out and "DISAGREE" not in out
 
     def test_summarize(self, capsys, tmp_path):
         out_path = tmp_path / "run.jsonl"

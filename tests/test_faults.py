@@ -180,3 +180,34 @@ class TestWriteSurvival:
         allowed = np.ones_like(written)
         allowed[0, :2] = False
         assert write_survives(scheme, written, allowed)[0]
+
+    def test_adversarial_last_copy_standing(self, scheme):
+        """Adversary destroys written copies one by one: the write
+        survives until the very last written copy falls, and at that
+        point the variable is unrecoverable (never a stale read)."""
+        from repro.hmos import write_survives
+        from repro.hmos.copytree import extract_min_target_set
+
+        q, k = scheme.params.q, scheme.params.k
+        full = np.ones((1, scheme.redundancy), dtype=bool)
+        _, written, _ = extract_min_target_set(full, full, q, k, k)
+        allowed = np.ones_like(written)
+        hit_list = np.nonzero(written[0])[0]
+        for copy in hit_list[:-1]:
+            allowed[0, copy] = False
+            assert write_survives(scheme, written, allowed)[0]
+        allowed[0, hit_list[-1]] = False
+        assert not write_survives(scheme, written, allowed)[0]
+        assert not scheme.is_target_set(allowed)[0]
+
+    def test_adversarial_spare_written_copies(self, scheme):
+        """Mirror attack: destroy everything *except* the written target
+        set — reads are then forced onto the written copies and the
+        write trivially survives (quorum intersection from the other
+        side)."""
+        from repro.hmos import write_survives
+
+        written = scheme.initial_target_masks(1)
+        allowed = written.copy()
+        assert scheme.is_target_set(allowed)[0]
+        assert write_survives(scheme, written, allowed)[0]

@@ -1,0 +1,281 @@
+"""Tests for processor faults, mid-run injection, and work reassignment.
+
+The memory-node fault machinery is covered by ``test_faults.py``; this
+file covers the fail-stop *processor* model: the distinct processor
+mask, the deterministic reassignment rule, the fault-event schedule
+consulted at step boundaries, and the degraded-mode guarantees (prefix
+bit-identity before the first death, consistency after it, refusal when
+every processor is dead).
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.hmos import HMOS, FaultInjector
+from repro.hmos.faults import (
+    FaultEvent,
+    parse_fault_event,
+    reassign_requesters,
+)
+from repro.pram import MeshBackend, PRAMMachine
+from repro.protocol import AccessProtocol
+from repro.protocol.access import StepError, StepRequest
+
+
+@pytest.fixture()
+def scheme():
+    return HMOS(n=64, alpha=1.25, q=3, k=2)
+
+
+class TestProcessorMask:
+    def test_distinct_from_memory_mask(self, scheme):
+        inj = FaultInjector(scheme)
+        inj.fail_processors([3])
+        # A dead processor's memory module keeps serving copies: the
+        # availability mask is untouched by processor faults.
+        assert inj.allowed_mask(np.arange(10)).all()
+        inj.fail_nodes([7])
+        np.testing.assert_array_equal(inj.failed_processors, [3])
+        np.testing.assert_array_equal(inj.failed_nodes, [7])
+        assert not inj.live_processor_mask[3]
+        assert inj.live_processor_mask.sum() == scheme.params.n - 1
+
+    def test_fail_heal_idempotent(self, scheme):
+        inj = FaultInjector(scheme)
+        inj.fail_processors([5])
+        inj.fail_processors([5])
+        np.testing.assert_array_equal(inj.failed_processors, [5])
+        inj.heal_processors([5])
+        assert inj.failed_processors.size == 0
+
+    def test_rejects_bad_rank(self, scheme):
+        with pytest.raises(ValueError):
+            FaultInjector(scheme).fail_processors([scheme.params.n])
+
+
+class TestReassignRequesters:
+    def test_identity_when_all_live(self):
+        live = np.ones(8, dtype=bool)
+        np.testing.assert_array_equal(
+            reassign_requesters(live, 5), np.arange(5)
+        )
+
+    def test_round_robin_over_live_ranks(self):
+        live = np.ones(6, dtype=bool)
+        live[[0, 2]] = False
+        origins = reassign_requesters(live, 6, seed=0, step_index=0)
+        # Live ranks ascending: 1,3,4,5; offset 0; dead positions 0,2.
+        assert origins[0] == 1 and origins[2] == 3
+        np.testing.assert_array_equal(origins[[1, 3, 4, 5]], [1, 3, 4, 5])
+
+    def test_offset_moves_with_step_index(self):
+        live = np.ones(6, dtype=bool)
+        live[0] = False
+        first = reassign_requesters(live, 6, seed=0, step_index=0)
+        second = reassign_requesters(live, 6, seed=0, step_index=1)
+        assert first[0] != second[0]  # the proxy rotates
+
+    def test_deterministic_pure_function(self):
+        live = np.ones(16, dtype=bool)
+        live[[1, 4, 9]] = False
+        a = reassign_requesters(live, 12, seed=3, step_index=7)
+        b = reassign_requesters(live, 12, seed=3, step_index=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_dead_refuses(self):
+        with pytest.raises(RuntimeError, match="all processors failed"):
+            reassign_requesters(np.zeros(4, dtype=bool), 4)
+
+
+class TestFaultEvents:
+    def test_parse_round_trip(self):
+        e = parse_fault_event("2:proc:5")
+        assert e == FaultEvent(step=2, kind="processor", nodes=(5,))
+        e = parse_fault_event("0:mem:1,3")
+        assert e == FaultEvent(step=0, kind="module", nodes=(1, 3))
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_fault_event("nonsense")
+        with pytest.raises(ValueError):
+            parse_fault_event("1:alien:2")
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(step=-1, kind="processor", nodes=(0,))
+        with pytest.raises(ValueError):
+            FaultEvent(step=0, kind="bogus", nodes=(0,))
+        with pytest.raises(ValueError):
+            FaultEvent(step=0, kind="processor", nodes=())
+
+    def test_schedule_applies_at_step_boundary(self, scheme):
+        inj = FaultInjector(
+            scheme,
+            schedule=[FaultEvent(step=1, kind="processor", nodes=(2,))],
+        )
+        assert inj.apply_due_events() == ()  # step 0: nothing due
+        inj.advance_clock()
+        fired = inj.apply_due_events()  # step 1: the death fires
+        assert len(fired) == 1
+        np.testing.assert_array_equal(inj.failed_processors, [2])
+
+    def test_duplicate_deaths_idempotent(self, scheme):
+        inj = FaultInjector(
+            scheme,
+            schedule=[
+                FaultEvent(step=0, kind="processor", nodes=(2,)),
+                FaultEvent(step=0, kind="processor", nodes=(2,)),
+            ],
+        )
+        inj.fail_processors([2])  # already statically dead too
+        assert len(inj.apply_due_events()) == 2
+        np.testing.assert_array_equal(inj.failed_processors, [2])
+
+
+class TestMidRunInjection:
+    def _stream(self, scheme, steps=3):
+        variables = np.arange(32)
+        out = [StepRequest("write", variables, variables * 2)]
+        out.extend(StepRequest("read", variables) for _ in range(steps - 1))
+        return out
+
+    def test_prefix_bit_identical_to_fault_free(self, scheme):
+        """Steps before the scheduled death match a fault-free run."""
+        stream = self._stream(scheme, steps=4)
+        clean = AccessProtocol(scheme, engine="model").run_steps(stream)
+        inj = FaultInjector(
+            scheme,
+            schedule=[FaultEvent(step=2, kind="processor", nodes=(0, 5))],
+        )
+        faulty = AccessProtocol(scheme, engine="model", faults=inj).run_steps(
+            stream
+        )
+        for t in range(2):
+            assert faulty[t].reassignments == ()
+            np.testing.assert_array_equal(
+                faulty[t].values, clean[t].values
+            )
+            assert faulty[t].total_steps == clean[t].total_steps
+            assert [s.delta_in for s in faulty[t].stages] == [
+                s.delta_in for s in clean[t].stages
+            ]
+        # From step 2 on, the dead requesters' work moved to proxies...
+        assert faulty[2].reassignments != ()
+        assert {pos for pos, _ in faulty[2].reassignments} == {0, 5}
+        # ...but delivered values are unchanged (reassignment only
+        # relabels routing origins, never memory semantics).
+        for t in range(2, 4):
+            np.testing.assert_array_equal(faulty[t].values, clean[t].values)
+
+    def test_fault_at_step_zero(self, scheme):
+        inj = FaultInjector(
+            scheme,
+            schedule=[FaultEvent(step=0, kind="processor", nodes=(1,))],
+        )
+        proto = AccessProtocol(scheme, engine="model", faults=inj)
+        results = proto.run_steps(self._stream(scheme, steps=2))
+        assert all({p for p, _ in r.reassignments} == {1} for r in results)
+
+    def test_fault_after_last_step_never_fires(self, scheme):
+        inj = FaultInjector(
+            scheme,
+            schedule=[FaultEvent(step=99, kind="processor", nodes=(1,))],
+        )
+        proto = AccessProtocol(scheme, engine="model", faults=inj)
+        results = proto.run_steps(self._stream(scheme, steps=3))
+        assert all(r.reassignments == () for r in results)
+        assert inj.failed_processors.size == 0
+
+    def test_module_event_degrades_copies(self, scheme):
+        """A scheduled module death restricts later copy selection."""
+        variables = np.arange(16)
+        dead_node = int(scheme.copy_nodes(variables[:1], np.array([0]))[0])
+        inj = FaultInjector(
+            scheme,
+            schedule=[FaultEvent(step=1, kind="module", nodes=(dead_node,))],
+        )
+        proto = AccessProtocol(scheme, engine="model", faults=inj)
+        write = StepRequest("write", variables, variables + 9)
+        read = StepRequest("read", variables)
+        w_res, r_res = proto.run_steps([write, read])
+        assert not np.any(r_res.culling.selected & ~inj.allowed_mask(variables))
+        np.testing.assert_array_equal(r_res.values, variables + 9)
+
+    def test_all_processors_dead_refused_and_recorded(self, scheme):
+        n = scheme.params.n
+        inj = FaultInjector(
+            scheme,
+            schedule=[
+                FaultEvent(step=1, kind="processor", nodes=tuple(range(n)))
+            ],
+        )
+        proto = AccessProtocol(scheme, engine="model", faults=inj)
+        results = proto.run_steps(self._stream(scheme, steps=3), on_error="record")
+        assert not isinstance(results[0], StepError)
+        assert isinstance(results[1], StepError)
+        assert "all processors failed" in results[1].message
+        assert isinstance(results[2], StepError)  # clock advanced anyway
+
+    def test_reassignment_deterministic_across_instances(self, scheme):
+        """Two independently-built protocol stacks agree on every
+        reassignment choice — the property the oracle certifies."""
+        stream = self._stream(scheme, steps=3)
+
+        def run():
+            inj = FaultInjector(
+                scheme,
+                schedule=[FaultEvent(step=1, kind="processor", nodes=(4,))],
+            )
+            proto = AccessProtocol(scheme, engine="model", faults=inj)
+            return [r.reassignments for r in proto.run_steps(stream)]
+
+        assert run() == run()
+
+    def test_counters_emitted(self, scheme):
+        inj = FaultInjector(scheme)
+        inj.fail_processors([0, 3])
+        proto = AccessProtocol(scheme, engine="model", faults=inj)
+        with obs.capture() as tracer:
+            proto.run_steps(self._stream(scheme, steps=2))
+        counters = tracer.counters
+        assert counters["protocol.dead_processor_steps"] == 2
+        assert counters["protocol.reassigned_requests"] == 4
+        assert counters["protocol.degraded_steps"] == 2
+
+
+class TestDegradedMachine:
+    def test_scatter_gather_with_dead_processors(self, scheme):
+        inj = FaultInjector(scheme)
+        inj.fail_processors([1, 2])
+        backend = MeshBackend(scheme, engine="model", faults=inj)
+        machine = PRAMMachine(backend, scheme.params.n)
+        assert backend.live_processor_count() == scheme.params.n - 2
+        data = np.arange(100)
+        machine.scatter(0, data)
+        np.testing.assert_array_equal(machine.gather(0, 100), data)
+
+    def test_backend_ticks_schedule_clock(self, scheme):
+        """Single-step dispatch advances the same global clock as
+        run_steps, so schedules work through PRAMMachine too."""
+        inj = FaultInjector(
+            scheme,
+            schedule=[FaultEvent(step=1, kind="processor", nodes=(0,))],
+        )
+        backend = MeshBackend(scheme, engine="model", faults=inj)
+        machine = PRAMMachine(backend, scheme.params.n)
+        addrs = np.arange(scheme.params.n, dtype=np.int64)
+        machine.write(addrs, addrs * 7)  # step 0: healthy
+        assert inj.failed_processors.size == 0
+        values = machine.read(addrs)  # step 1: the death fires first
+        np.testing.assert_array_equal(inj.failed_processors, [0])
+        np.testing.assert_array_equal(values, addrs * 7)
+
+    def test_all_dead_bulk_transfer_refused(self, scheme):
+        inj = FaultInjector(scheme)
+        inj.fail_processors(np.arange(scheme.params.n))
+        machine = PRAMMachine(
+            MeshBackend(scheme, engine="model", faults=inj), scheme.params.n
+        )
+        with pytest.raises(RuntimeError, match="refused"):
+            machine.scatter(0, np.arange(10))
