@@ -7,12 +7,16 @@ Commands
 ``route``    compare routing strategies on a skewed instance
 ``scaling``  sweep n and report measured scaling exponents
 ``run``      assemble and execute a PRAM assembly program on the mesh
-``experiments``  list or execute the E1..E18 reproduction suite
+``experiments``  list or execute the E1..E19 reproduction suite
 ``check``    differential verification: fuzz the stack against the PRAM
              oracle, or replay a recorded divergence artifact
 ``cache``    inspect or clear the on-disk HMOS artifact cache
 ``trace``    record a traced workload, summarize a trace file, or diff
              two traces to localize per-stage step regressions
+``serve``    long-lived asyncio JSON-lines simulation server (batched
+             multi-tenant access to a pool of warm machines)
+``client``   drive a seeded client fleet against a server (in-process
+             by default) and report throughput + certification
 """
 
 from __future__ import annotations
@@ -340,6 +344,165 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _serve_config(args):
+    """ServeConfig from the shared scheme/fault/pool flags."""
+    from repro.hmos.faults import parse_fault_event
+    from repro.serve.server import ServeConfig
+
+    schedule = tuple(parse_fault_event(text) for text in (args.fail_at or ()))
+    nodes = (
+        tuple(int(x) for x in args.fail_nodes.split(","))
+        if args.fail_nodes
+        else ()
+    )
+    procs = (
+        tuple(int(x) for x in args.fail_processors.split(","))
+        if args.fail_processors
+        else ()
+    )
+    return ServeConfig(
+        n=args.n,
+        alpha=args.alpha,
+        q=args.q,
+        k=args.k,
+        pool=args.pool,
+        window_max=args.window,
+        inflight_max=args.inflight,
+        failed_nodes=nodes,
+        failed_processors=procs,
+        fault_schedule=schedule,
+        fault_machine=args.fault_machine,
+        seed=args.seed,
+    )
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pool", type=int, default=1,
+                        help="warm machines (HMOS.cached pool slots)")
+    parser.add_argument("--window", type=int, default=16,
+                        help="max requests per batching window per machine")
+    parser.add_argument("--inflight", type=int, default=32,
+                        help="per-session admission budget")
+    parser.add_argument("--fault-machine", type=int, default=0,
+                        help="pool slot the --fail-* flags degrade")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    import repro.obs as obs
+
+    from repro.serve.server import start_server
+
+    config = _serve_config(args)
+
+    async def _run() -> None:
+        handle = await start_server(config, host=args.host, port=args.port)
+        degraded = " (degraded pool slot %d)" % config.fault_machine if (
+            config.has_faults
+        ) else ""
+        print(
+            f"repro serve: n={config.n} pool={config.pool} "
+            f"window={config.window_max} listening on "
+            f"{args.host}:{handle.port}{degraded}",
+            flush=True,
+        )
+        await handle.wait_stopped()
+        print(
+            f"repro serve: stopped after "
+            f"{sum(m.batches for m in handle.core.machines)} batch(es)"
+        )
+
+    try:
+        if args.trace or args.perfetto:
+            with obs.capture() as tracer:
+                asyncio.run(_run())
+            if args.trace:
+                print(f"trace: {obs.write_jsonl(tracer, args.trace)}")
+            if args.perfetto:
+                print(f"perfetto: open {obs.write_chrome_trace(tracer, args.perfetto)}"
+                      " at https://ui.perfetto.dev")
+        else:
+            asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.util import format_table as _table
+
+    config = _serve_config(args)
+    if args.scripted:
+        from repro.serve.harness import ScriptedFleet
+
+        run = ScriptedFleet(
+            config,
+            clients=args.clients,
+            requests=args.requests,
+            batch=args.batch,
+            seed=args.seed,
+            fault_clients=args.fault_clients,
+        ).run()
+        delivered, refused, rejected = run.delivered, run.refused, run.rejected
+        counters, machines = run.counters, run.machines
+        certified = run.certified
+        print(f"scripted fleet transcript digest: {run.transcript_digest}")
+    else:
+        from repro.serve.client import run_fleet
+
+        host, port = None, 0
+        if args.connect:
+            host, port_s = args.connect.rsplit(":", 1)
+            port = int(port_s)
+        report = run_fleet(
+            config,
+            host=host,
+            port=port,
+            clients=args.clients,
+            requests=args.requests,
+            batch=args.batch,
+            seed=args.seed,
+            fault_clients=args.fault_clients,
+            pipeline=args.pipeline,
+            certify=not args.no_certify,
+            shutdown=args.shutdown,
+        )
+        delivered, refused, rejected = (
+            report.delivered, report.refused, report.rejected,
+        )
+        counters, machines = report.counters, report.machines
+        certified = report.certified
+    requests = args.clients * args.requests
+    batches = counters.get("serve.batches", 0)
+    merged = counters.get("serve.merged_steps", 0)
+    print(_table(
+        ["machine", "requests", "batches", "steps", "degraded", "state digest"],
+        [
+            [m["machine"], m["requests"], m["batches"], m["steps"],
+             "yes" if m["degraded"] else "no", m["state_digest"]]
+            for m in machines
+        ],
+        title=f"{args.clients} clients x {args.requests} requests "
+        f"(seed {args.seed})",
+    ))
+    amortized = merged / requests if requests else 0.0
+    print(
+        f"\n{delivered} delivered, {refused} refused (degraded), "
+        f"{rejected} rejected (admission); {batches} batch(es), "
+        f"{merged} coalesced step(s) = {amortized:.2f} steps/request"
+    )
+    if certified is not None:
+        print(
+            "certified: batched execution byte-identical to sequential replay"
+            if certified
+            else "CERTIFICATION FAILED"
+        )
+        return 0 if certified else 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.cache import ArtifactCache
 
@@ -390,7 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=2)
     p.set_defaults(fn=_cmd_scaling)
 
-    p = sub.add_parser("experiments", help="list or run the E1..E18 experiments")
+    p = sub.add_parser("experiments", help="list or run the E1..E19 experiments")
     p.add_argument("--run", nargs="*", metavar="EID",
                    help="experiment ids to execute (default: list only)")
     p.add_argument("--workers", type=int, default=1,
@@ -476,6 +639,46 @@ def build_parser() -> argparse.ArgumentParser:
             help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
         )
         pc.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve", help="asyncio JSON-lines simulation server (repro.serve/1)"
+    )
+    _add_scheme_args(p)
+    _add_fault_args(p)
+    _add_serve_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral, printed at boot)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a JSONL obs trace at shutdown")
+    p.add_argument("--perfetto", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON at shutdown")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="seeded client fleet against a repro.serve server"
+    )
+    _add_scheme_args(p)
+    _add_fault_args(p)
+    _add_serve_args(p)
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="target a live server (default: boot one in-process)")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--requests", type=int, default=20,
+                   help="requests per client")
+    p.add_argument("--batch", type=int, default=3,
+                   help="max variables per request")
+    p.add_argument("--fault-clients", type=int, default=0,
+                   help="pin the first K clients to the degraded pool slot")
+    p.add_argument("--pipeline", type=int, default=8,
+                   help="client-side inflight pipelining depth")
+    p.add_argument("--scripted", action="store_true",
+                   help="deterministic in-process harness (no sockets)")
+    p.add_argument("--no-certify", action="store_true",
+                   help="skip the batched-vs-sequential certification")
+    p.add_argument("--shutdown", action="store_true",
+                   help="send SHUTDOWN to the --connect server afterwards")
+    p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser("run", help="run a PRAM assembly program on the mesh")
     p.add_argument("file", help="assembly file, or - for stdin")

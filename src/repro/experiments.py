@@ -1,4 +1,4 @@
-"""Registry of the reproduction experiments (E1..E18).
+"""Registry of the reproduction experiments (E1..E19).
 
 The experiment *implementations* live in ``benchmarks/`` (one
 pytest-benchmark file each, so tables and shape assertions run under
@@ -69,6 +69,8 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                        "Thm 4 proof", "test_e17_q_choice.py"),
         ExperimentInfo("E18", "degraded mode: mid-run deaths, delivered steps consistent",
                        "extension", "test_e18_degraded_mode.py"),
+        ExperimentInfo("E19", "service batching amortizes the per-step journey across riders",
+                       "extension", "test_e19_service_throughput.py"),
     ]
 }
 

@@ -103,3 +103,13 @@ class CopyMemory:
     def written_copies(self) -> int:
         """Number of copies ever written (storage footprint)."""
         return len(self._store)
+
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """The full ``copy id -> (value, timestamp)`` image, copied.
+
+        Two runs produced identical memory states iff their snapshots
+        compare equal — the byte-identical check the serve layer's
+        differential certification (batched vs sequential replay) and
+        the fault tests rely on.
+        """
+        return dict(self._store)

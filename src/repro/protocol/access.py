@@ -27,7 +27,7 @@ Two execution engines:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -96,6 +96,12 @@ class AccessResult:
         packets were carried by a surviving proxy instead (empty on
         fault-free steps).  Deterministic in (live set, seed, step) —
         see :func:`repro.hmos.faults.reassign_requesters`.
+    origin : object
+        Opaque token copied verbatim from the :class:`StepRequest` that
+        produced this result (``None`` for direct read/write/mixed
+        calls).  Batching front-ends that coalesce several clients'
+        requests into one step stash the composition here so results
+        can be routed back to their originating clients.
     """
 
     op: str
@@ -105,6 +111,7 @@ class AccessResult:
     stages: tuple[StageMetrics, ...]
     return_steps: float
     reassignments: tuple[tuple[int, int], ...] = ()
+    origin: object = None
 
     @property
     def protocol_steps(self) -> float:
@@ -124,12 +131,19 @@ class StepRequest:
     Mirrors the shape of :class:`repro.check.case.StepSpec` (which is
     accepted directly): ``op`` in {"read", "write", "mixed"};
     ``values``/``is_write`` align with ``variables`` where applicable.
+
+    ``origin`` is an opaque client-identity token: :meth:`run_steps`
+    copies it onto the step's :class:`AccessResult` or
+    :class:`StepError` unchanged, so a front-end that coalesces
+    requests from many clients into one stream can recover which
+    client(s) each outcome belongs to.
     """
 
     op: str
     variables: object
     values: object = None
     is_write: object = None
+    origin: object = None
 
 
 @dataclass(frozen=True)
@@ -138,13 +152,15 @@ class StepError:
 
     Only consistency-preserving refusals (``RuntimeError``, e.g.
     unrecoverable variables under faults) are recorded; genuine usage
-    errors always raise.
+    errors always raise.  ``origin`` carries the refused step's opaque
+    client-identity token (see :class:`StepRequest`).
     """
 
     index: int
     op: str
     n_requests: int
     message: str
+    origin: object = None
 
 
 def _max_per_node(nodes: np.ndarray, n: int) -> int:
@@ -303,28 +319,31 @@ class AccessProtocol:
         for index, step in enumerate(steps):
             op = step.op
             variables = step.variables
+            # StepSpec and other duck-typed steps carry no origin token.
+            origin = getattr(step, "origin", None)
             timestamp = start_timestamp + index
             if faults is not None:
                 faults.apply_due_events()
             try:
                 with tracer.span("protocol.step", index=index, op=op):
                     if op == "read":
-                        results.append(self.read(variables))
+                        result = self.read(variables)
                     elif op == "write":
-                        results.append(
-                            self.write(variables, step.values, timestamp=timestamp)
+                        result = self.write(
+                            variables, step.values, timestamp=timestamp
                         )
                     elif op == "mixed":
-                        results.append(
-                            self.mixed(
-                                variables,
-                                step.is_write,
-                                step.values,
-                                timestamp=timestamp,
-                            )
+                        result = self.mixed(
+                            variables,
+                            step.is_write,
+                            step.values,
+                            timestamp=timestamp,
                         )
                     else:
                         raise ValueError(f"step {index}: unknown op {op!r}")
+                if origin is not None:
+                    result = replace(result, origin=origin)
+                results.append(result)
             except RuntimeError as exc:
                 if on_error == "raise":
                     raise
@@ -335,6 +354,7 @@ class AccessProtocol:
                         op=op,
                         n_requests=len(variables),
                         message=str(exc),
+                        origin=origin,
                     )
                 )
             finally:

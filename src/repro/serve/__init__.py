@@ -1,0 +1,48 @@
+"""Simulation-as-a-service front-end (``repro serve`` / ``repro client``).
+
+A long-lived asyncio JSON-lines server multiplexes many concurrent
+client request streams onto a pool of warm :meth:`repro.hmos.scheme.HMOS.cached`
+machines via the batched :meth:`repro.protocol.access.AccessProtocol.run_steps`
+executor:
+
+* :mod:`repro.serve.protocol` — the typed ``repro.serve/1`` wire schema
+  and its versioned line codec;
+* :mod:`repro.serve.session` — per-client session state, admission
+  control, and outbound backpressure accounting;
+* :mod:`repro.serve.server` — the deterministic :class:`ServerCore`
+  (sessions, batching window, coalesced execution, the differential
+  certification replay) plus the asyncio socket front-end around it;
+* :mod:`repro.serve.client` — an asyncio client and a seeded
+  multi-client bench/test fleet;
+* :mod:`repro.serve.harness` — the deterministic in-process event-loop
+  harness (seeded scripted fleets, no sockets, no wall clock).
+"""
+
+from repro.serve.client import FleetReport, ServeClient, run_fleet
+from repro.serve.harness import ScriptedFleet
+from repro.serve.protocol import (
+    WIRE_FORMAT,
+    FrameError,
+    Message,
+    decode_message,
+    encode_message,
+)
+from repro.serve.server import ServeConfig, ServerCore, start_server
+from repro.serve.session import Session, SessionLimits
+
+__all__ = [
+    "WIRE_FORMAT",
+    "FleetReport",
+    "FrameError",
+    "Message",
+    "ScriptedFleet",
+    "ServeClient",
+    "ServeConfig",
+    "ServerCore",
+    "Session",
+    "SessionLimits",
+    "decode_message",
+    "encode_message",
+    "run_fleet",
+    "start_server",
+]

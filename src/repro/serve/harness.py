@@ -1,0 +1,185 @@
+"""Deterministic event-loop harness: scripted fleets, no sockets.
+
+:class:`ScriptedFleet` drives a :class:`~repro.serve.server.ServerCore`
+*synchronously* with a seeded interleaving: one master RNG repeatedly
+picks which client acts next (submit a request, or occasionally force a
+window flush), and outboxes are drained in session order after every
+flush.  There is no wall clock, no event loop, and no I/O anywhere in
+the run, so the entire execution — every admission decision, every
+coalesced step, every reply — is a pure function of
+``(config, clients, requests, batch, seed)``.  Two runs with the same
+inputs produce the same transcript hash; the tests assert exactly that,
+plus read-your-writes on every client and the server's own
+batched-vs-sequential certification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve import protocol as wire
+from repro.serve.client import ClientScript
+from repro.serve.server import ServeConfig, ServerCore
+
+__all__ = ["FleetRun", "ScriptedFleet"]
+
+
+@dataclass(frozen=True)
+class FleetRun:
+    """Everything one scripted run produced.
+
+    ``transcript`` is the full ordered event log (submissions,
+    rejections, flushes, replies); ``transcript_digest`` is its content
+    hash — the single value two identical runs must agree on.
+    """
+
+    transcript: tuple
+    transcript_digest: str
+    delivered: int
+    refused: int
+    rejected: int
+    counters: dict
+    per_client: tuple
+    certified: bool
+    certify_message: str
+    machines: tuple
+    state_digests: tuple
+
+
+class ScriptedFleet:
+    """A seeded in-process client fleet over a deterministic core."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        clients: int = 4,
+        requests: int = 8,
+        batch: int = 3,
+        seed: int = 0,
+        fault_clients: int = 0,
+        flush_chance: int = 8,
+    ):
+        self.config = config
+        self.clients = clients
+        self.requests = requests
+        self.batch = batch
+        self.seed = seed
+        self.fault_clients = fault_clients
+        #: 1-in-``flush_chance`` odds the master RNG forces an early
+        #: flush between submissions (0 disables — windows then always
+        #: fill until no client can act).  Varies window shapes without
+        #: breaking determinism.
+        self.flush_chance = flush_chance
+        self.core = ServerCore(config)
+        self.scripts: list[ClientScript] = []
+        self.sessions = []
+
+    def _hello_all(self, transcript: list) -> None:
+        for i in range(self.clients):
+            machine = 0 if i < self.fault_clients else None
+            reply, session = self.core.hello(
+                wire.Hello(tenant=f"t{i}", machine=machine)
+            )
+            if not isinstance(reply, wire.Welcome):
+                raise RuntimeError(
+                    f"scripted client {i} refused at HELLO: {reply}"
+                )
+            self.sessions.append(session)
+            self.scripts.append(
+                ClientScript(
+                    i,
+                    self.clients,
+                    self.seed,
+                    int(reply.scheme["num_variables"]),
+                    self.batch,
+                    self.requests,
+                )
+            )
+            transcript.append(("hello", i, session.sid, session.machine))
+
+    def _drain_all(self, transcript: list) -> bool:
+        """Deliver every queued reply, in session order, to its script."""
+        any_drained = False
+        for i, session in enumerate(self.sessions):
+            for msg in session.drain():
+                self.scripts[i].on_reply(msg)
+                any_drained = True
+                if isinstance(msg, wire.Result):
+                    transcript.append(
+                        ("result", i, msg.id, msg.batch, msg.step, msg.values)
+                    )
+                else:
+                    transcript.append(("refused", i, msg.id, msg.code))
+        return any_drained
+
+    def _flush(self, transcript: list) -> None:
+        before = {m.index: m.batches for m in self.core.machines}
+        self.core.flush()
+        for m in self.core.machines:
+            if m.batches != before[m.index]:
+                transcript.append(
+                    ("flush", m.index, m.batches - 1, m.steps_executed)
+                )
+        self._drain_all(transcript)
+
+    def run(self) -> FleetRun:
+        master = np.random.default_rng(self.seed)
+        transcript: list = []
+        self._hello_all(transcript)
+        while True:
+            actionable = [
+                i
+                for i in range(self.clients)
+                if self.scripts[i].has_more() and not self.sessions[i].over_budget
+            ]
+            if actionable:
+                if (
+                    self.flush_chance
+                    and self.core.has_pending()
+                    and int(master.integers(self.flush_chance)) == 0
+                ):
+                    self._flush(transcript)
+                    continue
+                i = actionable[int(master.integers(len(actionable)))]
+                step = self.scripts[i].next_request()
+                transcript.append(("submit", i, step.id, step.op, step.variables))
+                refusal = self.core.submit(self.sessions[i].sid, step)
+                if refusal is not None:
+                    self.scripts[i].on_reply(refusal)
+                    transcript.append(("rejected", i, step.id, refusal.code))
+                continue
+            if self.core.has_pending():
+                self._flush(transcript)
+                continue
+            if self._drain_all(transcript):
+                continue
+            break
+        for i, session in enumerate(self.sessions):
+            bye = self.core.bye(session.sid)
+            transcript.append(("bye", i, bye.delivered, bye.refused))
+        stats = self.core.stats()
+        verdict = self.core.certify()
+        transcript.append(("certified", verdict.ok))
+        digest = hashlib.sha256(
+            json.dumps(transcript, default=list).encode()
+        ).hexdigest()
+        return FleetRun(
+            transcript=tuple(transcript),
+            transcript_digest=digest,
+            delivered=sum(s.delivered for s in self.scripts),
+            refused=sum(s.refused for s in self.scripts),
+            rejected=sum(s.rejected for s in self.scripts),
+            counters=dict(stats.counters),
+            per_client=tuple(s.counters() for s in self.scripts),
+            certified=verdict.ok,
+            certify_message=verdict.message,
+            machines=stats.machines,
+            state_digests=tuple(
+                m["state_digest"] for m in stats.machines
+            ),
+        )

@@ -1,0 +1,468 @@
+"""The ``repro.serve/1`` wire schema and its line codec.
+
+Canonical typed messages (gossip-spec discipline: every frame is one
+JSON object on one line, stamped with the wire format, carrying exactly
+one canonical ``type``; unknown *fields* are tolerated for forward
+compatibility, unknown *types* and malformed frames are rejected with
+typed :class:`FrameError` codes):
+
+Client -> server
+    ``HELLO``     open a session (``tenant``, optional ``machine`` slot)
+    ``STEP``      one memory-step request (``id``, ``op``, ``variables``,
+                  ``values``/``is_write`` where applicable)
+    ``STATS``     server counters + per-machine state digests
+    ``CERTIFY``   run the differential batched-vs-sequential replay
+    ``BYE``       close the session (pending work is flushed first)
+    ``SHUTDOWN``  flush everything and stop the server (bench/CI hook)
+
+Server -> client
+    ``WELCOME``      session id, assigned machine, scheme shape, limits
+    ``RESULT``       one request's outcome (values, charged mesh steps)
+    ``REFUSED``      typed refusal: ``code`` in :data:`REFUSAL_CODES`
+    ``STATS_OK`` / ``CERTIFIED`` / ``BYE_OK`` / ``SHUTDOWN_OK``
+
+Refusal codes are part of the protocol: ``bad-frame`` family errors are
+transport-level (the frame never reached a session), ``over-budget`` /
+``server-full`` are admission control, ``bad-request`` is a usage error,
+and ``degraded-refusal`` is the consistency-preserving all-or-nothing
+refusal of a whole coalesced step under faults (mirrors
+:class:`repro.protocol.access.StepError`).
+
+The codec is versioned: every encoded frame carries
+``"format": "repro.serve/1"`` and decoding rejects any other stamp, the
+same discipline as the ``repro-check/1`` artifact and ``repro.trace/1``
+formats.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+__all__ = [
+    "REFUSAL_CODES",
+    "WIRE_FORMAT",
+    "Bye",
+    "ByeOk",
+    "Certified",
+    "Certify",
+    "FrameError",
+    "Hello",
+    "MESSAGE_TYPES",
+    "Message",
+    "Refused",
+    "Result",
+    "Shutdown",
+    "ShutdownOk",
+    "Stats",
+    "StatsOk",
+    "Step",
+    "Welcome",
+    "decode_message",
+    "encode_message",
+]
+
+#: Version stamp carried by every frame; bump on incompatible changes.
+WIRE_FORMAT = "repro.serve/1"
+
+#: Canonical refusal codes a ``REFUSED`` frame may carry.
+REFUSAL_CODES = (
+    "bad-json",
+    "bad-frame",
+    "unsupported-format",
+    "unknown-type",
+    "bad-field",
+    "unknown-session",
+    "bad-request",
+    "over-budget",
+    "server-full",
+    "degraded-refusal",
+    "shutting-down",
+    "internal-error",
+)
+
+
+class FrameError(ValueError):
+    """A frame that cannot become a typed message.
+
+    ``code`` is one of the transport-level :data:`REFUSAL_CODES`
+    (``bad-json``, ``bad-frame``, ``unsupported-format``,
+    ``unknown-type``, ``bad-field``) so servers can answer malformed
+    input with a typed ``REFUSED`` instead of dropping the connection.
+    """
+
+    def __init__(self, code: str, detail: str):
+        if code not in REFUSAL_CODES:
+            raise ValueError(f"unknown refusal code {code!r}")
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+# -- field coercion helpers (every failure is a typed FrameError) ----------
+
+
+def _bad(name: str, want: str, got: Any) -> FrameError:
+    return FrameError(
+        "bad-field", f"field {name!r} must be {want}, got {type(got).__name__}"
+    )
+
+
+def _int(data: dict, name: str) -> int:
+    value = data.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _bad(name, "an integer", value)
+    return value
+
+
+def _str(data: dict, name: str) -> str:
+    value = data.get(name)
+    if not isinstance(value, str):
+        raise _bad(name, "a string", value)
+    return value
+
+
+def _bool(data: dict, name: str) -> bool:
+    value = data.get(name)
+    if not isinstance(value, bool):
+        raise _bad(name, "a boolean", value)
+    return value
+
+
+def _float(data: dict, name: str) -> float:
+    value = data.get(name)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad(name, "a number", value)
+    return float(value)
+
+
+def _opt_int(data: dict, name: str) -> int | None:
+    if data.get(name) is None:
+        return None
+    return _int(data, name)
+
+
+def _int_tuple(data: dict, name: str) -> tuple[int, ...]:
+    value = data.get(name)
+    if not isinstance(value, (list, tuple)) or any(
+        isinstance(x, bool) or not isinstance(x, int) for x in value
+    ):
+        raise _bad(name, "a list of integers", value)
+    return tuple(value)
+
+
+def _opt_int_tuple(data: dict, name: str) -> tuple[int, ...] | None:
+    if data.get(name) is None:
+        return None
+    return _int_tuple(data, name)
+
+
+def _opt_bool_tuple(data: dict, name: str) -> tuple[bool, ...] | None:
+    value = data.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or any(
+        not isinstance(x, bool) for x in value
+    ):
+        raise _bad(name, "a list of booleans", value)
+    return tuple(value)
+
+
+def _dict(data: dict, name: str) -> dict:
+    value = data.get(name)
+    if not isinstance(value, dict):
+        raise _bad(name, "an object", value)
+    return value
+
+
+def _dict_tuple(data: dict, name: str) -> tuple[dict, ...]:
+    value = data.get(name)
+    if not isinstance(value, (list, tuple)) or any(
+        not isinstance(x, dict) for x in value
+    ):
+        raise _bad(name, "a list of objects", value)
+    return tuple(value)
+
+
+# -- message types ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: ``TYPE`` is the canonical on-wire name."""
+
+    TYPE: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"format": WIRE_FORMAT, "type": self.TYPE}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Message":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Hello(Message):
+    """Open a session.  ``machine`` optionally pins a pool slot
+    (otherwise the server assigns one deterministically from the
+    tenant name)."""
+
+    TYPE: ClassVar[str] = "HELLO"
+    tenant: str
+    machine: int | None = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Hello":
+        return cls(tenant=_str(data, "tenant"), machine=_opt_int(data, "machine"))
+
+
+@dataclass(frozen=True)
+class Welcome(Message):
+    """Session granted: the assigned machine's scheme shape and the
+    session's admission limits (``inflight_max``, ``window_max``)."""
+
+    TYPE: ClassVar[str] = "WELCOME"
+    session: str
+    machine: int
+    scheme: dict
+    limits: dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Welcome":
+        return cls(
+            session=_str(data, "session"),
+            machine=_int(data, "machine"),
+            scheme=_dict(data, "scheme"),
+            limits=_dict(data, "limits"),
+        )
+
+
+@dataclass(frozen=True)
+class Step(Message):
+    """One memory-step request.  ``id`` is client-chosen and echoed on
+    the matching ``RESULT``/``REFUSED``; ``op`` follows
+    :class:`repro.protocol.access.StepRequest` (read/write/mixed)."""
+
+    TYPE: ClassVar[str] = "STEP"
+    id: int
+    op: str
+    variables: tuple[int, ...]
+    values: tuple[int, ...] | None = None
+    is_write: tuple[bool, ...] | None = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Step":
+        return cls(
+            id=_int(data, "id"),
+            op=_str(data, "op"),
+            variables=_int_tuple(data, "variables"),
+            values=_opt_int_tuple(data, "values"),
+            is_write=_opt_bool_tuple(data, "is_write"),
+        )
+
+
+@dataclass(frozen=True)
+class Result(Message):
+    """One delivered request.  ``step`` is the machine-global index of
+    the coalesced step that served it, ``batch`` the batching window it
+    rode in; ``values`` are the pre-step values of the request's
+    variables (requests coalesced into one window-step are concurrent,
+    the PRAM read-compute-write convention); ``mesh_steps`` the charged
+    cost of the whole coalesced step (shared by its riders)."""
+
+    TYPE: ClassVar[str] = "RESULT"
+    id: int
+    batch: int
+    step: int
+    values: tuple[int, ...]
+    mesh_steps: float
+    reassigned: int = 0
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Result":
+        return cls(
+            id=_int(data, "id"),
+            batch=_int(data, "batch"),
+            step=_int(data, "step"),
+            values=_int_tuple(data, "values"),
+            mesh_steps=_float(data, "mesh_steps"),
+            reassigned=_int(data, "reassigned"),
+        )
+
+
+@dataclass(frozen=True)
+class Refused(Message):
+    """Typed refusal; ``id`` is None for frames that never reached a
+    request (transport errors, HELLO refusals)."""
+
+    TYPE: ClassVar[str] = "REFUSED"
+    code: str
+    message: str
+    id: int | None = None
+
+    def __post_init__(self):
+        if self.code not in REFUSAL_CODES:
+            raise ValueError(f"unknown refusal code {self.code!r}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Refused":
+        code = _str(data, "code")
+        if code not in REFUSAL_CODES:
+            raise FrameError("bad-field", f"unknown refusal code {code!r}")
+        return cls(
+            code=code, message=_str(data, "message"), id=_opt_int(data, "id")
+        )
+
+
+@dataclass(frozen=True)
+class Stats(Message):
+    TYPE: ClassVar[str] = "STATS"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Stats":
+        return cls()
+
+
+@dataclass(frozen=True)
+class StatsOk(Message):
+    """Server counters plus one digest entry per pool machine."""
+
+    TYPE: ClassVar[str] = "STATS_OK"
+    counters: dict
+    machines: tuple[dict, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatsOk":
+        return cls(
+            counters=_dict(data, "counters"),
+            machines=_dict_tuple(data, "machines"),
+        )
+
+
+@dataclass(frozen=True)
+class Certify(Message):
+    TYPE: ClassVar[str] = "CERTIFY"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certify":
+        return cls()
+
+
+@dataclass(frozen=True)
+class Certified(Message):
+    """Differential-certification verdict: every machine's batched
+    history replayed sequentially and compared byte-for-byte."""
+
+    TYPE: ClassVar[str] = "CERTIFIED"
+    ok: bool
+    machines: tuple[dict, ...]
+    message: str = ""
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certified":
+        return cls(
+            ok=_bool(data, "ok"),
+            machines=_dict_tuple(data, "machines"),
+            message=_str(data, "message"),
+        )
+
+
+@dataclass(frozen=True)
+class Bye(Message):
+    TYPE: ClassVar[str] = "BYE"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Bye":
+        return cls()
+
+
+@dataclass(frozen=True)
+class ByeOk(Message):
+    TYPE: ClassVar[str] = "BYE_OK"
+    delivered: int
+    refused: int
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ByeOk":
+        return cls(delivered=_int(data, "delivered"), refused=_int(data, "refused"))
+
+
+@dataclass(frozen=True)
+class Shutdown(Message):
+    TYPE: ClassVar[str] = "SHUTDOWN"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Shutdown":
+        return cls()
+
+
+@dataclass(frozen=True)
+class ShutdownOk(Message):
+    TYPE: ClassVar[str] = "SHUTDOWN_OK"
+    batches: int = 0
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShutdownOk":
+        return cls(batches=_int(data, "batches"))
+
+
+#: Canonical type name -> message class (the full wire vocabulary).
+MESSAGE_TYPES: dict[str, type[Message]] = {
+    cls.TYPE: cls
+    for cls in (
+        Hello,
+        Welcome,
+        Step,
+        Result,
+        Refused,
+        Stats,
+        StatsOk,
+        Certify,
+        Certified,
+        Bye,
+        ByeOk,
+        Shutdown,
+        ShutdownOk,
+    )
+}
+
+# -- codec -----------------------------------------------------------------
+
+
+def encode_message(msg: Message) -> bytes:
+    """One JSON line (newline-terminated UTF-8) for ``msg``."""
+    return (json.dumps(msg.to_dict(), separators=(",", ":")) + "\n").encode()
+
+
+def decode_message(frame: bytes | str) -> Message:
+    """Parse one line back into a typed message.
+
+    Raises :class:`FrameError` with a typed code on any malformed
+    input; unknown fields in a well-formed frame are ignored (forward
+    compatibility), unknown types are not.
+    """
+    if isinstance(frame, bytes):
+        frame = frame.decode("utf-8", errors="replace")
+    try:
+        data = json.loads(frame)
+    except json.JSONDecodeError as exc:
+        raise FrameError("bad-json", f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise FrameError("bad-frame", "frame must be a JSON object")
+    fmt = data.get("format")
+    if fmt != WIRE_FORMAT:
+        raise FrameError(
+            "unsupported-format",
+            f"expected format {WIRE_FORMAT!r}, got {fmt!r}",
+        )
+    type_name = data.get("type")
+    if not isinstance(type_name, str):
+        raise FrameError("bad-frame", "frame has no 'type' field")
+    cls = MESSAGE_TYPES.get(type_name)
+    if cls is None:
+        raise FrameError("unknown-type", f"unknown message type {type_name!r}")
+    return cls.from_dict(data)

@@ -1,0 +1,908 @@
+"""Simulation server: deterministic core + asyncio socket front-end.
+
+:class:`ServerCore` is the entire service semantics with no I/O and no
+clock: sessions, admission control, the batching window, coalesced
+execution through :meth:`AccessProtocol.run_steps`, the per-machine
+execution ledger, and the differential certification replay.  Every
+method is synchronous and deterministic in its call sequence, which is
+what makes the scripted-fleet test harness (:mod:`repro.serve.harness`)
+fully reproducible in ``(seed, client count)``.
+
+The asyncio layer (:func:`start_server`) is a thin transport: reader
+tasks decode frames and feed the core, one batcher task flushes the
+window, and per-session writer tasks drain outboxes — a slow consumer
+blocks only its own ``drain()`` while its admission budget throttles it,
+so other tenants keep flowing.
+
+Batching-window semantics
+-------------------------
+Requests admitted to a machine queue in arrival order.  A flush takes up
+to ``window_max`` of them and greedily packs consecutive requests with
+*disjoint variable sets* into one coalesced ``mixed`` step (a request
+whose variables overlap the step under construction closes it and starts
+the next — arrival order is never reordered).  The whole window executes
+as ONE ``run_steps`` call against the machine's warm cached scheme, with
+timestamps continuing across batches, so:
+
+* requests coalesced into the same step are *concurrent* — one PRAM
+  step serves them all, reads see pre-step values (read-compute-write);
+* a refusal under faults is all-or-nothing per coalesced step: every
+  rider of a refused step gets the same typed ``degraded-refusal`` and
+  memory is untouched;
+* the batched history is bit-identical to the same coalesced steps
+  replayed sequentially — :meth:`ServerCore.certify` proves it on
+  demand by replaying every machine's ledger on a fresh scheme and
+  comparing memory snapshots, per-step reports, values, and refusals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import traceback
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hmos.faults import FaultEvent, FaultInjector
+from repro.hmos.scheme import HMOS
+from repro.io import access_result_to_dict
+from repro.obs import tracer as _obs
+from repro.protocol.access import AccessProtocol, StepError, StepRequest
+from repro.serve import protocol as wire
+from repro.serve.session import Session, SessionLimits
+
+__all__ = [
+    "CertifyMismatch",
+    "LedgerStep",
+    "ServeConfig",
+    "ServeHandle",
+    "ServerCore",
+    "start_server",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a server instance is parameterized by.
+
+    ``pool`` warm machines are built through :meth:`HMOS.cached` (shared
+    immutable skeletons, private memories).  Fault state — static masks
+    plus a mid-run :class:`FaultEvent` schedule, whose ``step`` indices
+    count *coalesced steps executed on that machine* — applies to pool
+    slot ``fault_machine`` only, so one degraded machine can serve next
+    to healthy ones.
+    """
+
+    n: int = 64
+    alpha: float = 1.5
+    q: int = 3
+    k: int = 2
+    curve: str = "morton"
+    engine: str = "cycle"
+    pool: int = 1
+    window_max: int = 16
+    inflight_max: int = 32
+    server_budget: int = 1024
+    max_sessions: int = 64
+    failed_nodes: tuple[int, ...] = ()
+    failed_processors: tuple[int, ...] = ()
+    fault_schedule: tuple[FaultEvent, ...] = ()
+    fault_machine: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.pool < 1:
+            raise ValueError("pool must be >= 1")
+        if self.window_max < 1:
+            raise ValueError("window_max must be >= 1")
+        if self.inflight_max < 1:
+            raise ValueError("inflight_max must be >= 1")
+        if self.engine not in ("cycle", "model"):
+            raise ValueError(f"engine must be 'cycle' or 'model', got {self.engine!r}")
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(
+            self.failed_nodes or self.failed_processors or self.fault_schedule
+        )
+
+
+@dataclass(frozen=True)
+class LedgerStep:
+    """One executed coalesced step: the exact :class:`StepRequest` it
+    became, plus the client composition (``origin`` slices
+    ``(session, request_id, start, stop)`` into the variable arrays)."""
+
+    variables: tuple[int, ...]
+    values: tuple[int, ...]
+    is_write: tuple[bool, ...]
+    origin: tuple[tuple[str, int, int, int], ...]
+
+    def to_request(self) -> StepRequest:
+        return StepRequest(
+            op="mixed",
+            variables=np.asarray(self.variables, dtype=np.int64),
+            values=np.asarray(self.values, dtype=np.int64),
+            is_write=np.asarray(self.is_write, dtype=bool),
+            origin=self.origin,
+        )
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """Compact record of one executed step (what certify compares)."""
+
+    refused: str | None
+    report: dict | None
+    values: tuple[int, ...] | None
+
+
+@dataclass(frozen=True)
+class CertifyMismatch:
+    """One divergence found by the certification replay."""
+
+    machine: int
+    step: int  # -1 for the whole-memory comparison
+    detail: str
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for the next batching window."""
+
+    session: Session
+    request_id: int
+    variables: np.ndarray
+    values: np.ndarray
+    is_write: np.ndarray
+
+
+class _Machine:
+    """One warm pool slot: cached scheme + protocol + execution ledger."""
+
+    def __init__(self, index: int, config: ServeConfig):
+        self.index = index
+        self.scheme = HMOS.cached(
+            config.n, config.alpha, config.q, config.k, curve=config.curve
+        )
+        self.faults = _build_injector(self.scheme, config, index)
+        self.protocol = AccessProtocol(
+            self.scheme, engine=config.engine, faults=self.faults
+        )
+        self.pending: deque[_Pending] = deque()
+        self.ledger: list[LedgerStep] = []
+        self.outcomes: list[_Outcome] = []
+        self.next_timestamp = 1
+        self.batches = 0
+        self.requests = 0
+
+    @property
+    def steps_executed(self) -> int:
+        return len(self.ledger)
+
+    def state_digest(self) -> str:
+        """Content hash of the full (value, timestamp) memory image."""
+        items = sorted(self.scheme.memory.snapshot().items())
+        return hashlib.sha256(json.dumps(items).encode()).hexdigest()[:16]
+
+    def value_digest(self) -> str:
+        """Hash of the newest value per copy id, timestamps excluded —
+        stable across interleavings whenever writers touch disjoint
+        variables (the fleet workload's cross-run determinism check)."""
+        items = sorted(
+            (cid, val) for cid, (val, _ts) in self.scheme.memory.snapshot().items()
+        )
+        return hashlib.sha256(json.dumps(items).encode()).hexdigest()[:16]
+
+
+def _build_injector(
+    scheme: HMOS, config: ServeConfig, index: int
+) -> FaultInjector | None:
+    if index != config.fault_machine or not config.has_faults:
+        return None
+    injector = FaultInjector(
+        scheme, schedule=config.fault_schedule, seed=config.seed
+    )
+    if config.failed_nodes:
+        injector.fail_nodes(np.asarray(config.failed_nodes, dtype=np.int64))
+    if config.failed_processors:
+        injector.fail_processors(
+            np.asarray(config.failed_processors, dtype=np.int64)
+        )
+    return injector
+
+
+class ServerCore:
+    """The deterministic service state machine (see module docstring)."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.limits = SessionLimits(
+            inflight_max=config.inflight_max, window_max=config.window_max
+        )
+        self.machines = [_Machine(i, config) for i in range(config.pool)]
+        self.sessions: dict[str, Session] = {}
+        self.counters: dict[str, int] = {}
+        self.stopping = False
+        self._next_sid = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        """Core-local counter + obs counter (same names) in lockstep, so
+        tests can assert either with or without a tracer installed."""
+        self.counters[name] = self.counters.get(name, 0) + value
+        _obs.current().count(name, value)
+
+    def assign_machine(self, tenant: str, requested: int | None) -> int:
+        """Deterministic tenant -> pool-slot mapping (crc32, stable
+        across runs and processes) unless the HELLO pinned a slot."""
+        if requested is not None:
+            return requested
+        return zlib.crc32(tenant.encode()) % self.config.pool
+
+    # -- session lifecycle -------------------------------------------------
+
+    def hello(self, msg: wire.Hello) -> tuple[wire.Message, Session | None]:
+        if self.stopping:
+            return (
+                wire.Refused(code="shutting-down", message="server is stopping"),
+                None,
+            )
+        if len(self.sessions) >= self.config.max_sessions:
+            self._count("serve.rejected_sessions")
+            return (
+                wire.Refused(
+                    code="server-full",
+                    message=f"session limit {self.config.max_sessions} reached",
+                ),
+                None,
+            )
+        if msg.machine is not None and not (
+            0 <= msg.machine < self.config.pool
+        ):
+            return (
+                wire.Refused(
+                    code="bad-request",
+                    message=f"machine {msg.machine} not in pool of "
+                    f"{self.config.pool}",
+                ),
+                None,
+            )
+        sid = f"s{self._next_sid}"
+        self._next_sid += 1
+        machine = self.assign_machine(msg.tenant, msg.machine)
+        session = Session(sid, msg.tenant, machine, self.limits)
+        self.sessions[sid] = session
+        self._count("serve.sessions_opened")
+        params = self.machines[machine].scheme.params
+        return (
+            wire.Welcome(
+                session=sid,
+                machine=machine,
+                scheme={
+                    "n": params.n,
+                    "alpha": params.alpha,
+                    "q": params.q,
+                    "k": params.k,
+                    "curve": self.config.curve,
+                    "num_variables": params.num_variables,
+                },
+                limits=self.limits.to_dict(),
+            ),
+            session,
+        )
+
+    def bye(self, sid: str) -> wire.Message:
+        session = self.sessions.get(sid)
+        if session is None:
+            return wire.Refused(code="unknown-session", message=f"no session {sid!r}")
+        session.closed = True
+        self._count("serve.sessions_closed")
+        return wire.ByeOk(delivered=session.delivered, refused=session.refused)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, sid: str, msg: wire.Step) -> wire.Refused | None:
+        """Admit one request into its machine's window, or return the
+        typed admission refusal.  ``None`` means admitted."""
+        session = self.sessions.get(sid)
+        if session is None or session.closed:
+            return wire.Refused(
+                code="unknown-session", message=f"no open session {sid!r}", id=msg.id
+            )
+
+        def _reject(code: str, message: str) -> wire.Refused:
+            session.rejected += 1
+            self._count("serve.rejected_requests")
+            self._count(f"serve.session[{session.tenant}].rejected")
+            return wire.Refused(code=code, message=message, id=msg.id)
+
+        parsed = self._parse_step(session, msg)
+        if isinstance(parsed, str):
+            return _reject("bad-request", parsed)
+        if session.over_budget:
+            return _reject(
+                "over-budget",
+                f"session inflight budget {session.limits.inflight_max} "
+                "exhausted (consume results first)",
+            )
+        total_pending = sum(len(m.pending) for m in self.machines)
+        if total_pending >= self.config.server_budget:
+            return _reject(
+                "server-full",
+                f"server admission budget {self.config.server_budget} exhausted",
+            )
+        variables, values, is_write = parsed
+        session.admit(msg.id)
+        self.machines[session.machine].pending.append(
+            _Pending(session, msg.id, variables, values, is_write)
+        )
+        self._count("serve.requests")
+        self._count(f"serve.session[{session.tenant}].requests")
+        return None
+
+    def _parse_step(self, session: Session, msg: wire.Step):
+        """Normalize one wire STEP into aligned (variables, values,
+        is_write) arrays, or return the bad-request reason."""
+        if msg.id in session.live_ids:
+            return f"request id {msg.id} is already in flight"
+        if msg.op not in ("read", "write", "mixed"):
+            return f"unknown op {msg.op!r}"
+        count = len(msg.variables)
+        if count == 0:
+            return "variables must be non-empty"
+        if count > self.config.n:
+            return (
+                f"at most n={self.config.n} variables per request "
+                "(one per processor)"
+            )
+        if len(set(msg.variables)) != count:
+            return "variables must be distinct"
+        num_vars = self.machines[session.machine].scheme.num_variables
+        variables = np.asarray(msg.variables, dtype=np.int64)
+        if np.any((variables < 0) | (variables >= num_vars)):
+            return f"variable id out of range [0, {num_vars})"
+        if msg.op == "read":
+            if msg.values is not None or msg.is_write is not None:
+                return "read requests carry no values/is_write"
+            values = np.zeros(count, dtype=np.int64)
+            is_write = np.zeros(count, dtype=bool)
+        elif msg.op == "write":
+            if msg.values is None or len(msg.values) != count:
+                return "values must align with variables"
+            if msg.is_write is not None:
+                return "write requests carry no is_write"
+            values = np.asarray(msg.values, dtype=np.int64)
+            is_write = np.ones(count, dtype=bool)
+        else:
+            if msg.values is None or len(msg.values) != count:
+                return "values must align with variables"
+            if msg.is_write is None or len(msg.is_write) != count:
+                return "is_write must align with variables"
+            values = np.asarray(msg.values, dtype=np.int64)
+            is_write = np.asarray(msg.is_write, dtype=bool)
+        return variables, values, is_write
+
+    # -- the batching window -----------------------------------------------
+
+    def has_pending(self) -> bool:
+        return any(m.pending for m in self.machines)
+
+    def flush(self) -> list[tuple[Session, wire.Message]]:
+        """Execute one batching window on every machine with pending
+        requests; outcomes are pushed into session outboxes and also
+        returned ``(session, message)`` for the transport to dispatch."""
+        routed: list[tuple[Session, wire.Message]] = []
+        for machine in self.machines:
+            if machine.pending:
+                routed.extend(self._flush_machine(machine))
+        return routed
+
+    def _coalesce(
+        self, take: list[_Pending]
+    ) -> list[LedgerStep]:
+        """Greedy distinct-variable packing in arrival order: a request
+        overlapping the step under construction — or overflowing the
+        one-request-per-processor capacity ``n`` — closes it (no
+        reordering, so the interleaving is preserved exactly)."""
+        capacity = self.config.n
+        steps: list[LedgerStep] = []
+        variables: list[int] = []
+        values: list[int] = []
+        is_write: list[bool] = []
+        origin: list[tuple[str, int, int, int]] = []
+        seen: set[int] = set()
+
+        def _close():
+            if origin:
+                steps.append(
+                    LedgerStep(
+                        variables=tuple(variables),
+                        values=tuple(values),
+                        is_write=tuple(is_write),
+                        origin=tuple(origin),
+                    )
+                )
+                variables.clear()
+                values.clear()
+                is_write.clear()
+                origin.clear()
+                seen.clear()
+
+        for req in take:
+            req_vars = req.variables.tolist()
+            if (
+                any(v in seen for v in req_vars)
+                or len(variables) + len(req_vars) > capacity
+            ):
+                _close()
+            start = len(variables)
+            variables.extend(req_vars)
+            values.extend(req.values.tolist())
+            is_write.extend(bool(b) for b in req.is_write)
+            seen.update(req_vars)
+            origin.append(
+                (req.session.sid, req.request_id, start, len(variables))
+            )
+        _close()
+        return steps
+
+    def _flush_machine(
+        self, machine: _Machine
+    ) -> list[tuple[Session, wire.Message]]:
+        tracer = _obs.current()
+        take = [
+            machine.pending.popleft()
+            for _ in range(min(self.config.window_max, len(machine.pending)))
+        ]
+        steps = self._coalesce(take)
+        batch_id = machine.batches
+        machine.batches += 1
+        machine.requests += len(take)
+        base_step = machine.steps_executed
+        with tracer.span(
+            "serve.batch",
+            machine=machine.index,
+            batch=batch_id,
+            requests=len(take),
+            steps=len(steps),
+        ):
+            results = machine.protocol.run_steps(
+                [s.to_request() for s in steps],
+                start_timestamp=machine.next_timestamp,
+                on_error="record",
+            )
+        machine.next_timestamp += len(steps)
+
+        routed: list[tuple[Session, wire.Message]] = []
+        mesh_steps_total = 0.0
+        tenant_requests: dict[str, int] = {}
+        for offset, (step, result) in enumerate(zip(steps, results)):
+            machine.ledger.append(step)
+            step_index = base_step + offset
+            if isinstance(result, StepError):
+                machine.outcomes.append(
+                    _Outcome(refused=result.message, report=None, values=None)
+                )
+                self._count("serve.refused_steps")
+                # All-or-nothing: every rider of the refused coalesced
+                # step gets the same typed refusal; memory is untouched.
+                for sid, request_id, _start, _stop in result.origin:
+                    session = self.sessions[sid]
+                    session.refused += 1
+                    reply = wire.Refused(
+                        code="degraded-refusal",
+                        message=result.message,
+                        id=request_id,
+                    )
+                    session.push(reply, request_id=request_id, charged=True)
+                    routed.append((session, reply))
+                    tenant_requests[session.tenant] = (
+                        tenant_requests.get(session.tenant, 0) + 1
+                    )
+                continue
+            report = access_result_to_dict(result)
+            values = tuple(int(v) for v in result.values)
+            machine.outcomes.append(
+                _Outcome(refused=None, report=report, values=values)
+            )
+            mesh_steps_total += float(result.total_steps)
+            self._count("serve.merged_steps")
+            # The origin token came back through run_steps (not from the
+            # local `step` object): coalesced results stay attributable.
+            for sid, request_id, start, stop in result.origin:
+                session = self.sessions[sid]
+                session.delivered += 1
+                reply = wire.Result(
+                    id=request_id,
+                    batch=batch_id,
+                    step=step_index,
+                    values=values[start:stop],
+                    mesh_steps=float(result.total_steps),
+                    reassigned=len(result.reassignments),
+                )
+                session.push(reply, request_id=request_id, charged=True)
+                routed.append((session, reply))
+                self._count(f"serve.session[{session.tenant}].results")
+                tenant_requests[session.tenant] = (
+                    tenant_requests.get(session.tenant, 0) + 1
+                )
+        self._count("serve.batches")
+        if tracer.enabled:
+            base = tracer.lane_cursor("serve")
+            tracer.lane_span(
+                "serve",
+                "serve.batch_window",
+                mesh_steps_total,
+                machine=machine.index,
+                batch=batch_id,
+                requests=len(take),
+                steps=len(steps),
+            )
+            for tenant, count in sorted(tenant_requests.items()):
+                tracer.lane_span(
+                    "serve",
+                    f"serve.session[{tenant}]",
+                    0.0,
+                    at=base,
+                    requests=count,
+                )
+        return routed
+
+    # -- introspection + certification --------------------------------------
+
+    def stats(self) -> wire.StatsOk:
+        machines = tuple(
+            {
+                "machine": m.index,
+                "batches": m.batches,
+                "requests": m.requests,
+                "steps": m.steps_executed,
+                "pending": len(m.pending),
+                "degraded": m.faults is not None,
+                "state_digest": m.state_digest(),
+                "value_digest": m.value_digest(),
+            }
+            for m in self.machines
+        )
+        return wire.StatsOk(counters=dict(self.counters), machines=machines)
+
+    def certify(self) -> wire.Certified:
+        """Differential check: replay every machine's coalesced-step
+        ledger sequentially through a fresh ``run_steps`` and demand
+        byte-identical memory, identical per-step reports and values,
+        and identical refusal sets."""
+        reports = []
+        mismatches: list[CertifyMismatch] = []
+        for machine in self.machines:
+            found = self._certify_machine(machine)
+            mismatches.extend(found)
+            reports.append(
+                {
+                    "machine": machine.index,
+                    "steps": machine.steps_executed,
+                    "requests": machine.requests,
+                    "ok": not found,
+                    "detail": found[0].detail if found else "",
+                }
+            )
+        ok = not mismatches
+        self._count("serve.certifications")
+        return wire.Certified(
+            ok=ok,
+            machines=tuple(reports),
+            message=(
+                "batched execution is byte-identical to sequential replay"
+                if ok
+                else f"{len(mismatches)} divergence(s); first: "
+                f"{mismatches[0].detail}"
+            ),
+        )
+
+    def _certify_machine(self, machine: _Machine) -> list[CertifyMismatch]:
+        config = self.config
+        replay_scheme = HMOS.cached(
+            config.n, config.alpha, config.q, config.k, curve=config.curve
+        )
+        injector = _build_injector(replay_scheme, config, machine.index)
+        replay_protocol = AccessProtocol(
+            replay_scheme, engine=config.engine, faults=injector
+        )
+        replay = replay_protocol.run_steps(
+            [s.to_request() for s in machine.ledger],
+            start_timestamp=1,
+            on_error="record",
+        )
+        mismatches: list[CertifyMismatch] = []
+
+        def _mismatch(step: int, detail: str):
+            mismatches.append(
+                CertifyMismatch(machine=machine.index, step=step, detail=detail)
+            )
+
+        for i, (outcome, res) in enumerate(zip(machine.outcomes, replay)):
+            if isinstance(res, StepError):
+                if outcome.refused is None:
+                    _mismatch(i, f"replay refused step {i} but live run delivered it")
+                elif outcome.refused != res.message:
+                    _mismatch(
+                        i,
+                        f"refusal messages differ at step {i}: "
+                        f"{outcome.refused!r} vs {res.message!r}",
+                    )
+                continue
+            if outcome.refused is not None:
+                _mismatch(i, f"live run refused step {i} but replay delivered it")
+                continue
+            if tuple(int(v) for v in res.values) != outcome.values:
+                _mismatch(i, f"returned values differ at step {i}")
+                continue
+            if access_result_to_dict(res) != outcome.report:
+                _mismatch(i, f"per-step reports differ at step {i}")
+        if replay_scheme.memory.snapshot() != machine.scheme.memory.snapshot():
+            _mismatch(
+                -1,
+                f"machine {machine.index} final memory is not byte-identical "
+                "to the sequential replay",
+            )
+        return mismatches
+
+    def machine_case(self, index: int):
+        """The machine's executed history as a ``repro.check``
+        :class:`~repro.check.case.CaseSpec`, so the full differential
+        oracle (cycle vs model vs ideal PRAM) can re-certify a served
+        workload end to end."""
+        from repro.check.case import CaseSpec, StepSpec
+
+        config = self.config
+        machine = self.machines[index]
+        degraded = machine.faults is not None
+        return CaseSpec(
+            n=config.n,
+            alpha=config.alpha,
+            q=config.q,
+            k=config.k,
+            curve=config.curve,
+            failed_nodes=config.failed_nodes if degraded else (),
+            failed_processors=config.failed_processors if degraded else (),
+            fault_schedule=config.fault_schedule if degraded else (),
+            steps=tuple(
+                StepSpec(
+                    op="mixed",
+                    variables=s.variables,
+                    values=s.values,
+                    is_write=s.is_write,
+                    workload="serve",
+                )
+                for s in machine.ledger
+            ),
+        )
+
+    def shutdown(self) -> wire.ShutdownOk:
+        self.stopping = True
+        return wire.ShutdownOk(
+            batches=sum(m.batches for m in self.machines)
+        )
+
+
+# -- asyncio front-end -----------------------------------------------------
+
+
+@dataclass
+class ServeHandle:
+    """A running server: its core, listening port, and stop control."""
+
+    core: ServerCore
+    server: asyncio.AbstractServer
+    stop_event: asyncio.Event
+    port: int = 0  # captured at boot; survives the listener closing
+    tasks: set = field(default_factory=set)
+
+    async def stop(self) -> None:
+        self.core.stopping = True
+        self.stop_event.set()
+        self.server.close()
+        await self.server.wait_closed()
+        for task in list(self.tasks):
+            task.cancel()
+        await asyncio.gather(*self.tasks, return_exceptions=True)
+
+    async def wait_stopped(self) -> None:
+        """Block until a SHUTDOWN frame (or :meth:`stop`) fires, then
+        tear the transport down."""
+        await self.stop_event.wait()
+        # Give writer tasks one scheduling round to drain final replies.
+        await asyncio.sleep(0)
+        await self.stop()
+
+
+async def start_server(
+    config: ServeConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    linger: float = 0.0,
+) -> ServeHandle:
+    """Boot the asyncio JSON-lines server; returns once listening.
+
+    ``linger`` optionally holds the batching window open for that many
+    seconds after the first request arrives (deployment knob — the
+    default 0 flushes as soon as the event loop has admitted every
+    frame already in flight, which keeps tests wall-clock-free).
+    """
+    core = ServerCore(config)
+    flush_lock = asyncio.Lock()
+    kick = asyncio.Event()
+    stop_event = asyncio.Event()
+    wakes: dict[str, asyncio.Event] = {}
+
+    def _wake(session: Session) -> None:
+        event = wakes.get(session.sid)
+        if event is not None:
+            event.set()
+
+    async def _flush_all() -> None:
+        async with flush_lock:
+            while core.has_pending():
+                for session, _msg in core.flush():
+                    _wake(session)
+
+    def _refuse_pending(detail: str) -> None:
+        """Last-resort recovery from an unexpected flush failure: every
+        pending rider gets a typed internal-error refusal instead of a
+        hung connection, and the server keeps serving."""
+        for machine in core.machines:
+            while machine.pending:
+                req = machine.pending.popleft()
+                req.session.refused += 1
+                req.session.push(
+                    wire.Refused(
+                        code="internal-error", message=detail, id=req.request_id
+                    ),
+                    request_id=req.request_id,
+                    charged=True,
+                )
+                _wake(req.session)
+
+    async def _batcher() -> None:
+        while True:
+            await kick.wait()
+            kick.clear()
+            if linger:
+                await asyncio.sleep(linger)
+            else:
+                # One scheduling round so frames already queued on other
+                # connections land in the same window.
+                await asyncio.sleep(0)
+            async with flush_lock:
+                try:
+                    for session, _msg in core.flush():
+                        _wake(session)
+                except Exception as exc:  # noqa: BLE001 - must not die
+                    traceback.print_exc()
+                    _refuse_pending(f"batch window failed: {exc}")
+            if core.has_pending():
+                kick.set()
+
+    async def _writer_loop(
+        session: Session, writer: asyncio.StreamWriter, wake: asyncio.Event
+    ) -> None:
+        while True:
+            msg = session.pop()
+            if msg is None:
+                wake.clear()
+                await wake.wait()
+                continue
+            writer.write(wire.encode_message(msg))
+            await writer.drain()
+
+    async def _drained(session: Session) -> None:
+        while session.outbox_size:
+            await asyncio.sleep(0)
+
+    async def _handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Session | None = None
+        wake: asyncio.Event | None = None
+        writer_task: asyncio.Task | None = None
+
+        async def _direct(msg: wire.Message) -> None:
+            writer.write(wire.encode_message(msg))
+            await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = wire.decode_message(line)
+                except wire.FrameError as exc:
+                    reply = wire.Refused(code=exc.code, message=exc.detail)
+                    if session is None:
+                        await _direct(reply)
+                    else:
+                        session.push(reply)
+                        wake.set()
+                    continue
+                if session is None:
+                    if isinstance(msg, wire.Hello):
+                        reply, session = core.hello(msg)
+                        await _direct(reply)
+                        if session is not None:
+                            wake = asyncio.Event()
+                            wakes[session.sid] = wake
+                            writer_task = asyncio.create_task(
+                                _writer_loop(session, writer, wake)
+                            )
+                    else:
+                        await _direct(
+                            wire.Refused(
+                                code="bad-request",
+                                message="HELLO must open the session",
+                            )
+                        )
+                    continue
+                if isinstance(msg, wire.Step):
+                    refusal = core.submit(session.sid, msg)
+                    if refusal is not None:
+                        session.push(refusal)
+                        wake.set()
+                    else:
+                        kick.set()
+                elif isinstance(msg, wire.Stats):
+                    await _flush_all()
+                    session.push(core.stats())
+                    wake.set()
+                elif isinstance(msg, wire.Certify):
+                    await _flush_all()
+                    session.push(core.certify())
+                    wake.set()
+                elif isinstance(msg, wire.Bye):
+                    await _flush_all()
+                    session.push(core.bye(session.sid))
+                    wake.set()
+                    await _drained(session)
+                    break
+                elif isinstance(msg, wire.Shutdown):
+                    await _flush_all()
+                    session.push(core.shutdown())
+                    wake.set()
+                    await _drained(session)
+                    stop_event.set()
+                    break
+                else:
+                    session.push(
+                        wire.Refused(
+                            code="bad-request",
+                            message=f"unexpected {msg.TYPE} inside a session",
+                        )
+                    )
+                    wake.set()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if writer_task is not None:
+                writer_task.cancel()
+            if session is not None:
+                wakes.pop(session.sid, None)
+                if not session.closed:
+                    core.bye(session.sid)
+            writer.close()
+
+    server = await asyncio.start_server(_handle, host, port)
+    handle = ServeHandle(
+        core=core,
+        server=server,
+        stop_event=stop_event,
+        port=server.sockets[0].getsockname()[1],
+    )
+    batcher_task = asyncio.create_task(_batcher())
+    handle.tasks.add(batcher_task)
+    return handle

@@ -1,0 +1,130 @@
+"""Per-client session state and admission accounting.
+
+A :class:`Session` is the server-side record of one connected client
+(gossip-spec discipline: typed per-peer state, explicit liveness
+counters).  Backpressure is enforced through *admission*, not through
+queue sizes: ``inflight`` counts every request that has been admitted
+but whose outcome the client has not yet consumed, and a submit that
+would push it past ``limits.inflight_max`` is refused with the typed
+``over-budget`` code.  A slow consumer therefore throttles only itself
+— its outbox is bounded by its own budget and the batch executor never
+blocks on it — while other tenants keep flowing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.serve.protocol import Message
+
+__all__ = ["Session", "SessionLimits"]
+
+
+@dataclass(frozen=True)
+class SessionLimits:
+    """Admission budgets granted to one session (echoed in WELCOME)."""
+
+    inflight_max: int = 32
+    window_max: int = 16
+
+    def to_dict(self) -> dict:
+        return {
+            "inflight_max": self.inflight_max,
+            "window_max": self.window_max,
+        }
+
+
+class Session:
+    """One client's server-side state.
+
+    Attributes
+    ----------
+    sid : str
+        Server-assigned session id (deterministic: ``s<counter>``).
+    tenant : str
+        Client-chosen tenant name (obs counters are tagged with it).
+    machine : int
+        Pool slot this session's requests execute on.
+    inflight : int
+        Admitted-but-unconsumed requests (the backpressure ledger):
+        incremented on admission, decremented when the transport
+        confirms the outcome left the server (:meth:`release`).
+    outbox : deque of Message
+        Outcomes awaiting the transport, bounded by ``inflight`` (which
+        is itself capped), never by wall-clock.
+    """
+
+    def __init__(self, sid: str, tenant: str, machine: int, limits: SessionLimits):
+        self.sid = sid
+        self.tenant = tenant
+        self.machine = machine
+        self.limits = limits
+        self.inflight = 0
+        #: (message, charged) pairs: ``charged`` entries hold one unit
+        #: of admission budget until the transport consumes them.
+        self._outbox: deque[tuple[Message, bool]] = deque()
+        self.live_ids: set[int] = set()
+        self.submitted = 0
+        self.delivered = 0
+        self.refused = 0
+        self.rejected = 0  # admission refusals (never reached a batch)
+        self.closed = False
+
+    # -- admission ---------------------------------------------------------
+
+    @property
+    def over_budget(self) -> bool:
+        """Would admitting one more request exceed the session budget?"""
+        return self.inflight >= self.limits.inflight_max
+
+    def admit(self, request_id: int) -> None:
+        """Account one admitted request (caller already checked budget)."""
+        self.inflight += 1
+        self.submitted += 1
+        self.live_ids.add(request_id)
+
+    def push(
+        self,
+        msg: Message,
+        *,
+        request_id: int | None = None,
+        charged: bool = False,
+    ) -> None:
+        """Queue one outgoing message; ``charged`` marks batch outcomes
+        whose admission budget is freed when the transport consumes
+        them (control replies are never charged)."""
+        self._outbox.append((msg, charged))
+        if request_id is not None:
+            self.live_ids.discard(request_id)
+
+    @property
+    def outbox_size(self) -> int:
+        return len(self._outbox)
+
+    def pop(self) -> Message | None:
+        """Consume one queued message (releases its budget if charged);
+        the asyncio writer's transport primitive."""
+        if not self._outbox:
+            return None
+        msg, charged = self._outbox.popleft()
+        if charged:
+            self.inflight = max(0, self.inflight - 1)
+        return msg
+
+    def drain(self, count: int | None = None) -> list[Message]:
+        """Pop up to ``count`` queued messages (all by default) — the
+        synchronous transport used by the deterministic harness."""
+        out: list[Message] = []
+        while self._outbox and (count is None or len(out) < count):
+            out.append(self.pop())
+        return out
+
+    def counters(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "delivered": self.delivered,
+            "refused": self.refused,
+            "rejected": self.rejected,
+            "inflight": self.inflight,
+        }

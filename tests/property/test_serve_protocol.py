@@ -1,0 +1,242 @@
+"""Property tests for the ``repro.serve/1`` wire codec.
+
+Three protocol laws, checked over the *entire* message vocabulary (the
+strategy registry is asserted complete against ``MESSAGE_TYPES``, so a
+new message type without a strategy fails loudly):
+
+1. round trip — ``decode(encode(msg)) == msg`` for every message type;
+2. forward compatibility — unknown fields injected into a well-formed
+   frame are ignored, the decoded message is unchanged;
+3. typed rejection — every malformed frame raises :class:`FrameError`
+   with the documented code (never a bare ``KeyError``/``TypeError``),
+   so a server can always answer garbage with a typed ``REFUSED``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve import protocol as wire
+
+# JSON-exact scalars: ints inside the float53 window survive any JSON
+# round trip; finite floats round trip exactly via repr.
+_ids = st.integers(min_value=0, max_value=2**31)
+_ints = st.integers(min_value=-(2**53), max_value=2**53)
+_floats = st.floats(allow_nan=False, allow_infinity=False)
+_text = st.text(max_size=30)
+_int_tuple = st.lists(_ints, max_size=6).map(tuple)
+_bool_tuple = st.lists(st.booleans(), max_size=6).map(tuple)
+_json_value = st.one_of(_ints, _floats, _text, st.booleans(), st.none())
+_json_dict = st.dictionaries(_text, _json_value, max_size=4)
+_dict_tuple = st.lists(_json_dict, max_size=3).map(tuple)
+
+MESSAGE_STRATEGIES: dict[str, st.SearchStrategy] = {
+    "HELLO": st.builds(
+        wire.Hello, tenant=_text, machine=st.none() | _ids
+    ),
+    "WELCOME": st.builds(
+        wire.Welcome,
+        session=_text,
+        machine=_ids,
+        scheme=_json_dict,
+        limits=_json_dict,
+    ),
+    "STEP": st.builds(
+        wire.Step,
+        id=_ids,
+        op=st.sampled_from(["read", "write", "mixed"]) | _text,
+        variables=_int_tuple,
+        values=st.none() | _int_tuple,
+        is_write=st.none() | _bool_tuple,
+    ),
+    "RESULT": st.builds(
+        wire.Result,
+        id=_ids,
+        batch=_ids,
+        step=_ids,
+        values=_int_tuple,
+        mesh_steps=_floats,
+        reassigned=_ids,
+    ),
+    "REFUSED": st.builds(
+        wire.Refused,
+        code=st.sampled_from(wire.REFUSAL_CODES),
+        message=_text,
+        id=st.none() | _ids,
+    ),
+    "STATS": st.just(wire.Stats()),
+    "STATS_OK": st.builds(
+        wire.StatsOk, counters=_json_dict, machines=_dict_tuple
+    ),
+    "CERTIFY": st.just(wire.Certify()),
+    "CERTIFIED": st.builds(
+        wire.Certified, ok=st.booleans(), machines=_dict_tuple, message=_text
+    ),
+    "BYE": st.just(wire.Bye()),
+    "BYE_OK": st.builds(wire.ByeOk, delivered=_ids, refused=_ids),
+    "SHUTDOWN": st.just(wire.Shutdown()),
+    "SHUTDOWN_OK": st.builds(wire.ShutdownOk, batches=_ids),
+}
+
+
+def test_strategy_registry_is_complete():
+    assert set(MESSAGE_STRATEGIES) == set(wire.MESSAGE_TYPES)
+
+
+any_message = st.one_of(*MESSAGE_STRATEGIES.values())
+
+
+@given(any_message)
+def test_encode_decode_round_trip(msg):
+    frame = wire.encode_message(msg)
+    assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+    decoded = wire.decode_message(frame)
+    assert type(decoded) is type(msg)
+    assert decoded == msg
+
+
+@given(any_message)
+def test_every_frame_is_stamped(msg):
+    data = json.loads(wire.encode_message(msg))
+    assert data["format"] == wire.WIRE_FORMAT
+    assert data["type"] == msg.TYPE
+    assert data["type"] in wire.MESSAGE_TYPES
+
+
+@given(
+    any_message,
+    st.dictionaries(
+        st.text(min_size=1, max_size=12).filter(
+            lambda k: k not in ("format", "type")
+        ),
+        _json_value,
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_unknown_fields_are_tolerated(msg, extras):
+    """Forward compatibility: a newer peer may add fields; decoding
+    ignores the ones this version does not know."""
+    data = msg.to_dict()
+    extras = {k: v for k, v in extras.items() if k not in data}
+    data.update(extras)
+    decoded = wire.decode_message(json.dumps(data))
+    assert decoded == msg
+
+
+# -- typed rejection -------------------------------------------------------
+
+
+@given(st.text(max_size=40).filter(lambda s: not _is_json(s)))
+def test_non_json_is_bad_json(text):
+    with pytest.raises(wire.FrameError) as err:
+        wire.decode_message(text)
+    assert err.value.code == "bad-json"
+
+
+def _is_json(text: str) -> bool:
+    try:
+        json.loads(text)
+    except json.JSONDecodeError:
+        return False
+    return True
+
+
+@given(st.one_of(_ints, _floats, st.booleans(), st.lists(_ints, max_size=3)))
+def test_non_object_frame_is_bad_frame(value):
+    with pytest.raises(wire.FrameError) as err:
+        wire.decode_message(json.dumps(value))
+    assert err.value.code == "bad-frame"
+
+
+@given(any_message, st.none() | _text.filter(lambda s: s != wire.WIRE_FORMAT))
+def test_wrong_format_stamp_is_rejected(msg, stamp):
+    data = msg.to_dict()
+    if stamp is None:
+        del data["format"]
+    else:
+        data["format"] = stamp
+    with pytest.raises(wire.FrameError) as err:
+        wire.decode_message(json.dumps(data))
+    assert err.value.code == "unsupported-format"
+
+
+@given(_text.filter(lambda s: s not in wire.MESSAGE_TYPES))
+def test_unknown_type_is_rejected(type_name):
+    frame = json.dumps({"format": wire.WIRE_FORMAT, "type": type_name})
+    with pytest.raises(wire.FrameError) as err:
+        wire.decode_message(frame)
+    assert err.value.code == "unknown-type"
+
+
+def test_missing_type_is_bad_frame():
+    for data in (
+        {"format": wire.WIRE_FORMAT},
+        {"format": wire.WIRE_FORMAT, "type": 7},
+        {"format": wire.WIRE_FORMAT, "type": None},
+    ):
+        with pytest.raises(wire.FrameError) as err:
+            wire.decode_message(json.dumps(data))
+        assert err.value.code == "bad-frame"
+
+
+#: Fixed well-formed instances to poison one field at a time.
+_CANONICAL = {
+    "HELLO": wire.Hello(tenant="t0", machine=1),
+    "STEP": wire.Step(
+        id=3, op="mixed", variables=(1, 2), values=(5, 0),
+        is_write=(True, False),
+    ),
+    "RESULT": wire.Result(
+        id=3, batch=0, step=2, values=(7,), mesh_steps=12.0, reassigned=0
+    ),
+    "REFUSED": wire.Refused(code="bad-request", message="nope", id=3),
+    "WELCOME": wire.Welcome(
+        session="s0", machine=0, scheme={"n": 16}, limits={"inflight_max": 4}
+    ),
+    "STATS_OK": wire.StatsOk(counters={"serve.batches": 1}, machines=()),
+    "CERTIFIED": wire.Certified(ok=True, machines=(), message=""),
+    "BYE_OK": wire.ByeOk(delivered=4, refused=0),
+    "SHUTDOWN_OK": wire.ShutdownOk(batches=2),
+}
+
+#: (message type, field, poison values that must raise bad-field).
+_POISON = [
+    ("HELLO", "tenant", [None, 3, ["x"]]),
+    ("HELLO", "machine", ["0", 1.5, True]),
+    ("STEP", "id", [None, "4", 1.5, True]),
+    ("STEP", "variables", [None, "xs", [1, "2"], [True], 3]),
+    ("STEP", "values", ["xs", [0.5], [False]]),
+    ("STEP", "is_write", [[1, 0], ["true"], 1]),
+    ("RESULT", "mesh_steps", [None, "1.0", True]),
+    ("RESULT", "values", [None, [None]]),
+    ("REFUSED", "code", [None, 3, "no-such-code"]),
+    ("REFUSED", "message", [None, 0]),
+    ("WELCOME", "scheme", [None, 3, [1]]),
+    ("STATS_OK", "counters", [None, "x"]),
+    ("STATS_OK", "machines", [None, [3], ["x"]]),
+    ("CERTIFIED", "ok", [None, 1, "true"]),
+    ("BYE_OK", "delivered", [None, 1.5]),
+    ("SHUTDOWN_OK", "batches", [None, "0", False]),
+]
+
+
+@pytest.mark.parametrize(
+    "type_name,field,poison",
+    [(t, f, p) for t, f, ps in _POISON for p in ps],
+)
+def test_wrong_typed_field_is_bad_field(type_name, field, poison):
+    data = _CANONICAL[type_name].to_dict()
+    data[field] = poison
+    with pytest.raises(wire.FrameError) as err:
+        wire.decode_message(json.dumps(data))
+    assert err.value.code == "bad-field"
+
+
+def test_frame_error_requires_known_code():
+    with pytest.raises(ValueError, match="unknown refusal code"):
+        wire.FrameError("not-a-code", "detail")
+    with pytest.raises(ValueError, match="unknown refusal code"):
+        wire.Refused(code="not-a-code", message="x")

@@ -162,7 +162,7 @@ class TestExperimentsCommand:
         from repro.experiments import EXPERIMENTS, _benchmarks_dir
 
         bench_dir = _benchmarks_dir()
-        assert len(EXPERIMENTS) == 18
+        assert len(EXPERIMENTS) == 19
         for info in EXPERIMENTS.values():
             assert (bench_dir / info.bench).exists(), info.bench
 
@@ -226,3 +226,51 @@ class TestTraceCommand:
         # k=2 has a stage 3 that k=1 lacks: the diff must expose it.
         assert "stage[3].sort" in out
         assert "TOTAL" in out
+
+
+class TestServeCommands:
+    SMALL = ["--n", "16", "--k", "1"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.pool == 1 and args.window == 16 and args.port == 0
+
+    def test_client_scripted_certifies(self, capsys):
+        assert main([
+            "client", *self.SMALL, "--scripted",
+            "--clients", "3", "--requests", "5", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "transcript digest" in out
+        assert "certified: batched execution byte-identical" in out
+        assert "15 delivered" in out
+
+    def test_client_scripted_is_reproducible(self, capsys):
+        argv = [
+            "client", *self.SMALL, "--scripted",
+            "--clients", "3", "--requests", "4", "--seed", "8",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_client_inprocess_asyncio(self, capsys):
+        assert main([
+            "client", *self.SMALL, "--pool", "2",
+            "--clients", "3", "--requests", "5", "--seed", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "15 delivered" in out
+        assert "certified" in out and "FAILED" not in out
+
+    def test_client_scripted_degraded(self, capsys):
+        assert main([
+            "client", *self.SMALL, "--scripted", "--clients", "3",
+            "--requests", "5", "--fault-clients", "3",
+            "--fail-at", "1:module:" + ",".join(str(i) for i in range(12)),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "refused (degraded)" in out
+        assert "yes" in out  # the degraded pool-slot column
+        assert "certified: batched execution byte-identical" in out

@@ -7,8 +7,8 @@ from repro.experiments import EXPERIMENTS, list_table, run
 
 
 class TestRegistry:
-    def test_covers_e1_to_e18(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 19)}
+    def test_covers_e1_to_e19(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 20)}
 
     def test_entries_are_complete(self):
         for eid, info in EXPERIMENTS.items():

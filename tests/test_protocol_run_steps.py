@@ -263,3 +263,42 @@ def test_machine_scatter_gather_batched_and_fallback():
         batched.scatter(batched.backend.memory_size - 1, payload)
     with pytest.raises(ValueError, match="address"):
         batched.gather(-1, 5)
+
+
+def test_run_steps_threads_origin_through_results():
+    """The opaque ``origin`` token survives execution untouched, so a
+    coalescing caller (the serve layer) can re-attribute each batched
+    result to the clients whose requests were merged into it."""
+    protocol = AccessProtocol(_scheme(), engine="model")
+    token = (("s0", 4, 0, 2), ("s1", 9, 2, 3))
+    requests = [
+        StepRequest(op="write", variables=[1, 2, 3], values=[10, 20, 30],
+                    origin=token),
+        StepRequest(op="read", variables=[1, 2, 3]),
+        StepRequest(op="read", variables=[2], origin="just-a-string"),
+    ]
+    results = protocol.run_steps(requests)
+    assert results[0].origin == token  # identity-preserved, not copied
+    assert results[1].origin is None  # absent stays absent
+    assert results[2].origin == "just-a-string"
+    # The result is otherwise identical to an origin-free run.
+    bare = AccessProtocol(_scheme(), engine="model").run_steps(
+        [StepRequest(op=r.op, variables=r.variables, values=r.values)
+         for r in requests]
+    )
+    for a, b in zip(results, bare):
+        _assert_results_equal(a, b)
+
+
+def test_run_steps_origin_survives_refusal():
+    protocol, good, dead = _protocol_with_dead_variable()
+    results = protocol.run_steps(
+        [
+            StepRequest(op="read", variables=[dead], origin=("s3", 1, 0, 1)),
+            StepRequest(op="read", variables=[good]),
+        ],
+        on_error="record",
+    )
+    assert isinstance(results[0], StepError)
+    assert results[0].origin == ("s3", 1, 0, 1)
+    assert results[1].origin is None

@@ -1,0 +1,206 @@
+"""The asyncio front-end: sockets, handshake, batching, teardown.
+
+Determinism note: these tests go through a real event loop and real
+loopback sockets, but every assertion is about *protocol outcomes*
+(delivered/refused sets, certification, typed refusals) — all of which
+are interleaving-independent by construction (write-partitioned client
+scripts, all-or-nothing refusals, admission accounting).  Nothing here
+asserts on wall-clock time.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.hmos.faults import FaultEvent
+from repro.serve import protocol as wire
+from repro.serve.client import ServeClient, run_fleet, run_fleet_async
+from repro.serve.server import ServeConfig, start_server
+
+SMALL = dict(n=16, alpha=1.5, q=3, k=1)
+
+
+def _config(**kw) -> ServeConfig:
+    return ServeConfig(**{**SMALL, **kw})
+
+
+def _with_server(config, coro_fn):
+    """Boot a server on an ephemeral loopback port, run ``coro_fn(port)``
+    against it, tear everything down on the same loop."""
+
+    async def _main():
+        handle = await start_server(config)
+        try:
+            return await coro_fn(handle)
+        finally:
+            await handle.stop()
+
+    return asyncio.run(_main())
+
+
+def test_fleet_over_sockets_delivers_and_certifies():
+    report = run_fleet(
+        _config(pool=2, window_max=8, inflight_max=8),
+        clients=5,
+        requests=8,
+        batch=3,
+        seed=42,
+    )
+    assert report.delivered == 5 * 8
+    assert report.refused == 0 and report.rejected == 0
+    assert report.certified is True
+    assert report.counters["serve.requests"] == 5 * 8
+    # Coalescing actually happened: fewer executed steps than requests.
+    assert report.counters["serve.merged_steps"] < 5 * 8
+    assert sum(m["requests"] for m in report.machines) == 5 * 8
+
+
+def test_fleet_with_faults_over_sockets_certifies():
+    schedule = (FaultEvent(step=2, kind="module", nodes=tuple(range(12))),)
+    report = run_fleet(
+        _config(pool=2, window_max=4, fault_schedule=schedule),
+        clients=4,
+        requests=6,
+        batch=2,
+        seed=11,
+        fault_clients=2,
+    )
+    assert report.delivered + report.refused == 4 * 6
+    assert report.refused > 0, "degraded slot should refuse some steps"
+    assert report.certified is True
+    degraded = {m["machine"]: m["degraded"] for m in report.machines}
+    assert degraded == {0: True, 1: False}
+
+
+def test_handshake_and_frame_errors_get_typed_refusals():
+    async def scenario(handle):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", handle.port
+        )
+
+        async def roundtrip(raw: bytes) -> wire.Message:
+            writer.write(raw)
+            await writer.drain()
+            return wire.decode_message(await reader.readline())
+
+        # Garbage before HELLO: typed transport refusals, connection
+        # survives every one of them.
+        reply = await roundtrip(b"this is not json\n")
+        assert reply.code == "bad-json"
+        reply = await roundtrip(b'[1,2,3]\n')
+        assert reply.code == "bad-frame"
+        reply = await roundtrip(
+            json.dumps({"format": "repro.serve/999", "type": "HELLO"}).encode()
+            + b"\n"
+        )
+        assert reply.code == "unsupported-format"
+        reply = await roundtrip(
+            json.dumps({"format": wire.WIRE_FORMAT, "type": "NOPE"}).encode()
+            + b"\n"
+        )
+        assert reply.code == "unknown-type"
+        # Any session message before HELLO is refused.
+        reply = await roundtrip(wire.encode_message(wire.Stats()))
+        assert reply.code == "bad-request"
+        # And the connection still works: a HELLO now succeeds.
+        reply = await roundtrip(
+            wire.encode_message(wire.Hello(tenant="late-bloomer"))
+        )
+        assert isinstance(reply, wire.Welcome)
+        assert reply.scheme["n"] == SMALL["n"]
+        writer.close()
+
+    _with_server(_config(), scenario)
+
+
+def test_admission_refusals_reach_the_wire():
+    async def scenario(handle):
+        client = await ServeClient.connect(
+            "127.0.0.1", handle.port, tenant="greedy"
+        )
+        assert client.inflight_max == 2
+        # Submit past the budget without consuming anything.
+        for i in range(4):
+            await client.send(
+                wire.Step(id=i, op="read", variables=(i,))
+            )
+        outcomes = [await client.recv_outcome() for _ in range(4)]
+        by_id = {m.id: m for m in outcomes}
+        rejected = [
+            m for m in by_id.values()
+            if isinstance(m, wire.Refused) and m.code == "over-budget"
+        ]
+        delivered = [m for m in by_id.values() if isinstance(m, wire.Result)]
+        assert len(rejected) >= 1
+        assert len(delivered) == 4 - len(rejected)
+        stats = await client.request(wire.Stats())
+        assert stats.counters["serve.rejected_requests"] == len(rejected)
+        assert stats.counters["serve.session[greedy].rejected"] == len(rejected)
+        bye = await client.request(wire.Bye())
+        assert bye.delivered == len(delivered)
+        await client.close()
+
+    _with_server(_config(inflight_max=2, window_max=8), scenario)
+
+
+def test_shutdown_frame_stops_the_server():
+    async def _main():
+        handle = await start_server(_config())
+        client = await ServeClient.connect(
+            "127.0.0.1", handle.port, tenant="terminator"
+        )
+        await client.send(wire.Step(id=0, op="write", variables=(1,), values=(5,)))
+        assert isinstance(await client.recv_outcome(), wire.Result)
+        done = await client.request(wire.Shutdown())
+        assert isinstance(done, wire.ShutdownOk)
+        assert done.batches == 1
+        await client.close()
+        await handle.wait_stopped()  # returns: stop_event was set
+        # The listener is gone; new connections fail.
+        with pytest.raises(OSError):
+            await asyncio.open_connection("127.0.0.1", handle.port)
+        # Core-side state agrees.
+        assert handle.core.stopping
+
+    asyncio.run(_main())
+
+
+def test_concurrent_fleet_matches_scripted_outcome_totals():
+    """The asyncio fleet and the deterministic scripted harness run the
+    SAME per-client request scripts (same seed); delivery totals and
+    final per-machine value digests must agree when every client is
+    pinned to one machine and nothing is refused."""
+    from repro.serve.harness import ScriptedFleet
+
+    config = _config(window_max=8, inflight_max=32)
+    clients, requests, batch, seed = 4, 6, 2, 99
+
+    async def scenario(handle):
+        return await run_fleet_async(
+            "127.0.0.1",
+            handle.port,
+            clients=clients,
+            requests=requests,
+            batch=batch,
+            seed=seed,
+            fault_clients=clients,  # pin everyone to machine 0
+        ), handle.core
+
+    report, async_core = _with_server(config, scenario)
+    fleet = ScriptedFleet(
+        config,
+        clients=clients,
+        requests=requests,
+        batch=batch,
+        seed=seed,
+        fault_clients=clients,
+    )
+    scripted = fleet.run()
+    assert report.delivered == scripted.delivered == clients * requests
+    # Same writes (write-partitioned, identical scripts) -> same final
+    # values, even though the two transports interleaved differently.
+    assert (
+        async_core.machines[0].value_digest()
+        == fleet.core.machines[0].value_digest()
+    )

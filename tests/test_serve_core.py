@@ -1,0 +1,432 @@
+"""The deterministic service core: batching, admission, certification.
+
+Everything here runs :class:`ServerCore` / :class:`ScriptedFleet`
+synchronously — no sockets, no event loop, no wall clock — so every
+assertion is exact and every run is a pure function of its seeds.
+The differential claims (batched == sequential replay, coalesced
+results attribute to the right clients, refusals are all-or-nothing)
+are the serve layer's correctness contract from ISSUE/DESIGN.
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.check.oracle import run_case
+from repro.hmos.faults import FaultEvent
+from repro.serve import protocol as wire
+from repro.serve.harness import ScriptedFleet
+from repro.serve.server import ServeConfig, ServerCore
+
+SMALL = dict(n=16, alpha=1.5, q=3, k=1)  # 117 variables, fast to build
+
+#: Enough dead modules that some variables lose every copy: coalesced
+#: steps touching them refuse (all-or-nothing) while others deliver.
+HEAVY_FAULTS = (FaultEvent(step=1, kind="module", nodes=tuple(range(12))),)
+
+
+def _config(**kw) -> ServeConfig:
+    merged = {**SMALL, **kw}
+    return ServeConfig(**merged)
+
+
+def _welcome(core, tenant="t0", machine=None):
+    reply, session = core.hello(wire.Hello(tenant=tenant, machine=machine))
+    assert isinstance(reply, wire.Welcome), reply
+    return reply, session
+
+
+def _drain_outcomes(session):
+    return {
+        m.id: m for m in session.drain() if not isinstance(m, wire.ByeOk)
+    }
+
+
+# -- deterministic event-loop harness --------------------------------------
+
+
+def test_scripted_fleet_is_deterministic_in_seed_and_clients():
+    cfg = _config(pool=2, window_max=6, inflight_max=4)
+    runs = [
+        ScriptedFleet(cfg, clients=4, requests=6, batch=3, seed=13).run()
+        for _ in range(2)
+    ]
+    assert runs[0].transcript_digest == runs[1].transcript_digest
+    assert runs[0].transcript == runs[1].transcript
+    assert runs[0].state_digests == runs[1].state_digests
+    assert runs[0].counters == runs[1].counters
+    # Every request was accounted exactly once.
+    assert runs[0].delivered + runs[0].refused + runs[0].rejected == 4 * 6
+    assert runs[0].certified, runs[0].certify_message
+    # A different seed is a different interleaving AND workload.
+    other = ScriptedFleet(cfg, clients=4, requests=6, batch=3, seed=14).run()
+    assert other.transcript_digest != runs[0].transcript_digest
+
+
+def test_scripted_fleet_read_your_writes_holds():
+    """ClientScript raises on any read of an owned variable that does
+    not match its shadow — running to completion IS the assertion."""
+    run = ScriptedFleet(
+        _config(window_max=8, inflight_max=6),
+        clients=5,
+        requests=10,
+        batch=3,
+        seed=21,
+    ).run()
+    assert run.delivered == 5 * 10
+    assert run.certified
+
+
+# -- differential sequencing (batched vs sequential replay) ----------------
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batched_equals_sequential_replay(seed):
+    """N seeded concurrent clients through the batching window, then the
+    recorded coalesced-step ledger replayed single-threaded: final
+    memory (values AND timestamps), per-step reports, returned values,
+    and refusal sets must match exactly.  ``certify`` is that replay."""
+    cfg = _config(pool=2, window_max=5, inflight_max=4)
+    fleet = ScriptedFleet(cfg, clients=6, requests=8, batch=3, seed=seed)
+    run = fleet.run()
+    assert run.certified, run.certify_message
+    verdict = fleet.core.certify()  # idempotent: replay from scratch
+    assert verdict.ok
+    assert all(m["ok"] for m in verdict.machines)
+    assert sum(m["steps"] for m in verdict.machines) > 0
+
+
+def test_certify_detects_a_tampered_history():
+    """The certification is not vacuous: corrupt one recorded outcome
+    and the replay must flag exactly that machine."""
+    cfg = _config(window_max=6)
+    fleet = ScriptedFleet(cfg, clients=3, requests=6, batch=2, seed=5)
+    fleet.run()
+    machine = fleet.core.machines[0]
+    victim = next(
+        i for i, o in enumerate(machine.outcomes) if o.refused is None
+    )
+    o = machine.outcomes[victim]
+    machine.outcomes[victim] = type(o)(
+        refused=None,
+        report=o.report,
+        values=tuple(v + 1 for v in o.values),
+    )
+    verdict = fleet.core.certify()
+    assert not verdict.ok
+    assert "step" in verdict.message
+    assert [m["ok"] for m in verdict.machines] == [False]
+
+
+def test_served_history_replays_through_check_oracle():
+    """machine_case exports the executed ledger as a repro.check case:
+    the full differential oracle (cycle vs model vs ideal PRAM) then
+    re-verifies the served workload end to end."""
+    cfg = _config(window_max=6)
+    fleet = ScriptedFleet(cfg, clients=3, requests=5, batch=2, seed=9)
+    fleet.run()
+    case = fleet.core.machine_case(0)
+    assert case.steps, "fleet should have executed at least one step"
+    assert all(s.op == "mixed" and s.workload == "serve" for s in case.steps)
+    report = run_case(case)  # raises DivergenceError on any mismatch
+    assert report.steps_checked == len(case.steps)
+
+
+def test_value_state_is_interleaving_independent():
+    """Write-partitioned clients: the same per-client request streams
+    submitted in two different arrival orders converge to the same
+    final *values* (timestamps differ — state_digest may not match,
+    value_digest must)."""
+    from repro.serve.client import ClientScript
+
+    def run_order(order_seed):
+        core = ServerCore(_config(window_max=4, inflight_max=64))
+        sessions, scripts = [], []
+        for i in range(3):
+            reply, session = _welcome(core, tenant=f"t{i}", machine=0)
+            sessions.append(session)
+            scripts.append(
+                ClientScript(
+                    i, 3, 77, int(reply.scheme["num_variables"]), 2, 6
+                )
+            )
+        order_rng = np.random.default_rng(order_seed)
+        live = list(range(3))
+        while live:
+            i = live[int(order_rng.integers(len(live)))]
+            refusal = core.submit(sessions[i].sid, scripts[i].next_request())
+            assert refusal is None
+            if not scripts[i].has_more():
+                live.remove(i)
+        while core.has_pending():
+            core.flush()
+        return core.machines[0]
+
+    a, b = run_order(1), run_order(2)
+    assert a.value_digest() == b.value_digest()
+    assert a.state_digest() != b.state_digest()  # timestamps do differ
+
+
+# -- coalescing and attribution --------------------------------------------
+
+
+def _submit(core, session, request_id, op, variables, values=None, is_write=None):
+    refusal = core.submit(
+        session.sid,
+        wire.Step(
+            id=request_id,
+            op=op,
+            variables=tuple(variables),
+            values=None if values is None else tuple(values),
+            is_write=None if is_write is None else tuple(is_write),
+        ),
+    )
+    return refusal
+
+
+def test_disjoint_requests_coalesce_into_one_step():
+    core = ServerCore(_config(window_max=8))
+    _, s0 = _welcome(core, "a", machine=0)
+    _, s1 = _welcome(core, "b", machine=0)
+    assert _submit(core, s0, 0, "write", [1, 2], [10, 20]) is None
+    assert _submit(core, s1, 0, "write", [3, 4], [30, 40]) is None
+    core.flush()
+    machine = core.machines[0]
+    assert machine.steps_executed == 1  # both rode one coalesced step
+    assert core.counters["serve.batches"] == 1
+    r0 = _drain_outcomes(s0)[0]
+    r1 = _drain_outcomes(s1)[0]
+    assert r0.step == r1.step == 0
+    assert r0.mesh_steps == r1.mesh_steps  # shared charged cost
+    # Pre-step convention: writes return the values being overwritten.
+    assert r0.values == (0, 0) and r1.values == (0, 0)
+
+
+def test_overlapping_requests_split_preserving_arrival_order():
+    core = ServerCore(_config(window_max=8))
+    _, s0 = _welcome(core, "a", machine=0)
+    _, s1 = _welcome(core, "b", machine=0)
+    assert _submit(core, s0, 0, "write", [5], [50]) is None
+    assert _submit(core, s1, 0, "read", [5]) is None  # overlaps -> next step
+    assert _submit(core, s0, 1, "read", [5]) is None  # overlaps s1's step
+    core.flush()
+    assert core.machines[0].steps_executed == 3
+    outcomes = _drain_outcomes(s1)
+    # The later step sees the earlier step's write: sequencing inside
+    # one batching window is real execution order, not set semantics.
+    assert outcomes[0].values == (50,)
+    assert _drain_outcomes(s0)[1].values == (50,)
+
+
+def test_coalescing_respects_processor_capacity():
+    """A coalesced step never exceeds n requests (one per processor)."""
+    n = SMALL["n"]
+    core = ServerCore(_config(window_max=16, inflight_max=64))
+    _, s0 = _welcome(core, "a", machine=0)
+    for i in range(6):  # 6 disjoint requests x 3 variables = 18 > n=16
+        base = 3 * i
+        assert _submit(
+            core, s0, i, "write", [base, base + 1, base + 2],
+            [1, 2, 3],
+        ) is None
+    core.flush()
+    machine = core.machines[0]
+    assert machine.steps_executed == 2
+    assert all(len(s.variables) <= n for s in machine.ledger)
+    assert core.certify().ok
+
+
+def test_results_attribute_to_the_right_rider():
+    """Origin threading end to end: values slices per client match what
+    a per-client sequential run would return."""
+    core = ServerCore(_config(window_max=8))
+    _, s0 = _welcome(core, "a", machine=0)
+    _, s1 = _welcome(core, "b", machine=0)
+    assert _submit(core, s0, 7, "write", [10, 11], [100, 110]) is None
+    assert _submit(core, s1, 9, "write", [12], [120]) is None
+    assert _submit(core, s0, 8, "read", [12, 10]) is None
+    assert _submit(core, s1, 10, "read", [11]) is None
+    core.flush()
+    out0, out1 = _drain_outcomes(s0), _drain_outcomes(s1)
+    assert set(out0) == {7, 8} and set(out1) == {9, 10}
+    assert out0[8].values == (120, 100)  # reads see the first step
+    assert out1[10].values == (110,)
+    ledger = core.machines[0].ledger
+    assert [sorted(sid for sid, *_ in step.origin) for step in ledger] == [
+        sorted([s0.sid, s1.sid]),
+        sorted([s0.sid, s1.sid]),
+    ]
+
+
+# -- backpressure and admission --------------------------------------------
+
+
+def test_over_budget_admission_is_refused_with_typed_code():
+    core = ServerCore(_config(inflight_max=2, window_max=8))
+    _, session = _welcome(core)
+    with obs.capture() as tracer:
+        assert _submit(core, session, 0, "read", [1]) is None
+        assert _submit(core, session, 1, "read", [2]) is None
+        refusal = _submit(core, session, 2, "read", [3])
+        assert isinstance(refusal, wire.Refused)
+        assert refusal.code == "over-budget"
+        assert refusal.id == 2
+        # Asserted via obs counters, as the ISSUE requires.
+        assert tracer.counters["serve.rejected_requests"] == 1
+        assert tracer.counters["serve.requests"] == 2
+        assert tracer.counters["serve.session[t0].rejected"] == 1
+    assert core.counters["serve.rejected_requests"] == 1
+    # Consuming outcomes releases the budget: the same submit now lands.
+    core.flush()
+    session.drain()
+    assert session.inflight == 0
+    assert _submit(core, session, 2, "read", [3]) is None
+
+
+def test_slow_consumer_does_not_stall_other_tenants():
+    """The slow tenant's outbox stays bounded by its own budget while
+    the fast tenant keeps delivering — admission-based backpressure,
+    never a shared-queue stall."""
+    core = ServerCore(_config(inflight_max=3, window_max=4))
+    _, slow = _welcome(core, "slow", machine=0)
+    _, fast = _welcome(core, "fast", machine=0)
+    fast_delivered = 0
+    request_id = 0
+    for _round in range(6):
+        for session in (slow, fast):
+            while not session.over_budget:
+                assert _submit(
+                    core, session, request_id, "read", [request_id % 100]
+                ) is None
+                request_id += 1
+        while core.has_pending():  # the asyncio batcher drains likewise
+            core.flush()
+        fast_delivered += len(_drain_outcomes(fast))
+        # slow never drains: its outbox holds at most its budget.
+        assert slow.outbox_size <= slow.limits.inflight_max
+    assert fast_delivered >= 6 * 3
+    assert slow.over_budget  # throttled itself, nobody else
+    assert core.counters["serve.session[fast].results"] == fast_delivered
+
+
+def test_server_budget_refuses_with_server_full():
+    core = ServerCore(_config(server_budget=3, inflight_max=64, window_max=8))
+    _, session = _welcome(core)
+    for i in range(3):
+        assert _submit(core, session, i, "read", [i]) is None
+    refusal = _submit(core, session, 3, "read", [50])
+    assert refusal is not None and refusal.code == "server-full"
+
+
+def test_session_limit_and_machine_pinning_validation():
+    core = ServerCore(_config(max_sessions=1, pool=2))
+    _welcome(core)
+    reply, session = core.hello(wire.Hello(tenant="late"))
+    assert session is None and reply.code == "server-full"
+    core = ServerCore(_config(pool=2))
+    reply, session = core.hello(wire.Hello(tenant="x", machine=5))
+    assert session is None and reply.code == "bad-request"
+    # Unpinned tenants hash deterministically into the pool.
+    assert core.assign_machine("x", None) == core.assign_machine("x", None)
+    assert core.assign_machine("x", 1) == 1
+
+
+def test_bad_requests_are_rejected_before_admission():
+    core = ServerCore(_config())
+    _, session = _welcome(core)
+    num_vars = core.machines[0].scheme.num_variables
+    cases = [
+        dict(op="scan", variables=(1,)),
+        dict(op="read", variables=()),
+        dict(op="read", variables=(1, 1)),
+        dict(op="read", variables=(num_vars,)),
+        dict(op="read", variables=tuple(range(SMALL["n"] + 1))),
+        dict(op="read", variables=(1,), values=(5,)),
+        dict(op="write", variables=(1, 2), values=(5,)),
+        dict(op="write", variables=(1,)),
+        dict(op="mixed", variables=(1,), values=(5,)),
+        dict(op="mixed", variables=(1,), values=(5,), is_write=(True, False)),
+    ]
+    for i, kw in enumerate(cases):
+        refusal = core.submit(session.sid, wire.Step(id=i, **kw))
+        assert refusal is not None and refusal.code == "bad-request", kw
+    # Duplicate in-flight id is also a usage error.
+    assert _submit(core, session, 99, "read", [1]) is None
+    dup = _submit(core, session, 99, "read", [2])
+    assert dup is not None and dup.code == "bad-request"
+    assert core.submit("nope", wire.Step(id=0, op="read", variables=(1,))).code \
+        == "unknown-session"
+
+
+# -- faults: all-or-nothing refusals ---------------------------------------
+
+
+def test_refusals_are_all_or_nothing_per_coalesced_step():
+    cfg = _config(window_max=8, failed_nodes=tuple(range(12)))
+    core = ServerCore(cfg)
+    machine = core.machines[0]
+    _, s0 = _welcome(core, "a", machine=0)
+    _, s1 = _welcome(core, "b", machine=0)
+    # Find a variable whose copies all died: a step carrying it refuses.
+    everything = np.arange(machine.scheme.num_variables, dtype=np.int64)
+    dead = everything[~machine.faults.recoverable(everything)]
+    live = everything[machine.faults.recoverable(everything)]
+    if not dead.size or live.size < 2:
+        pytest.skip("fault pattern did not split the variables")
+    # A healthy write first, so "memory untouched" is a non-trivial claim.
+    assert _submit(core, s0, 0, "write", [int(live[1])], [10]) is None
+    core.flush()
+    _drain_outcomes(s0)
+    before = machine.scheme.memory.snapshot()
+    assert before, "healthy write should have landed"
+    assert _submit(core, s0, 1, "write", [int(live[0])], [7]) is None
+    assert _submit(core, s1, 1, "read", [int(dead[0])]) is None  # same step
+    core.flush()
+    out0, out1 = _drain_outcomes(s0), _drain_outcomes(s1)
+    # Both riders of the refused coalesced step got the same typed
+    # refusal — including the healthy write that was merged with it.
+    assert isinstance(out0[1], wire.Refused) and out0[1].code == "degraded-refusal"
+    assert isinstance(out1[1], wire.Refused) and out1[1].code == "degraded-refusal"
+    assert out0[1].message == out1[1].message
+    assert machine.scheme.memory.snapshot() == before  # memory untouched
+    # The refused step is part of the certified history.
+    assert core.certify().ok
+
+
+def test_degraded_fleet_certifies_and_counts_refusals():
+    cfg = _config(pool=2, window_max=4, fault_schedule=HEAVY_FAULTS)
+    run = ScriptedFleet(
+        cfg, clients=4, requests=6, batch=3, seed=3, fault_clients=2
+    ).run()
+    assert run.refused > 0, "schedule should refuse some coalesced steps"
+    assert run.delivered + run.refused + run.rejected == 4 * 6
+    assert run.certified, run.certify_message
+    assert run.counters["serve.refused_steps"] > 0
+    # Only the degraded pool slot refuses; slot 1 stays healthy.
+    degraded = {m["machine"]: m["degraded"] for m in run.machines}
+    assert degraded == {0: True, 1: False}
+
+
+# -- lifecycle --------------------------------------------------------------
+
+
+def test_bye_stats_and_shutdown():
+    core = ServerCore(_config())
+    _, session = _welcome(core)
+    assert _submit(core, session, 0, "write", [3], [30]) is None
+    core.flush()
+    session.drain()
+    stats = core.stats()
+    assert stats.counters["serve.requests"] == 1
+    assert stats.machines[0]["steps"] == 1
+    bye = core.bye(session.sid)
+    assert isinstance(bye, wire.ByeOk)
+    assert bye.delivered == 1 and bye.refused == 0
+    assert core.bye("ghost").code == "unknown-session"
+    # Closed sessions cannot submit; stopping servers refuse HELLO.
+    refusal = _submit(core, session, 1, "read", [3])
+    assert refusal.code == "unknown-session"
+    done = core.shutdown()
+    assert done.batches == 1
+    reply, newcomer = core.hello(wire.Hello(tenant="late"))
+    assert newcomer is None and reply.code == "shutting-down"
