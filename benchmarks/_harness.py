@@ -9,11 +9,26 @@ simulations more than requested.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable
 
+from repro.mesh import numba_version, resolve_backend
 from repro.util import format_table
 
-__all__ = ["run_once", "report"]
+__all__ = ["instance_metadata", "run_once", "report"]
+
+
+def instance_metadata() -> dict:
+    """Host/backend provenance stamped into every BENCH_*.json instance
+    block, so perf trajectories are comparable across CI runners:
+    the kernel backend this environment resolves to (``auto`` unless
+    ``$REPRO_KERNELS`` overrides), the numba version (or "absent"),
+    and the core count."""
+    return {
+        "kernel_backend": resolve_backend().name,
+        "numba": numba_version() or "absent",
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def run_once(benchmark, fn: Callable[[], Any]) -> Any:

@@ -28,7 +28,7 @@ import os
 import time
 from pathlib import Path
 
-from _harness import report, run_once
+from _harness import instance_metadata, report, run_once
 
 from repro.serve.harness import ScriptedFleet
 from repro.serve.server import ServeConfig
@@ -120,6 +120,7 @@ def _serve_sweep():
                     "batch": BATCH,
                     "seed": SEED,
                     "quick": QUICK,
+                    **instance_metadata(),
                 },
                 "samples": samples,
             },

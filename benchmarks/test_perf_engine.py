@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from _harness import instance_metadata
 
 from repro.mesh import Mesh, PacketBatch, SynchronousEngine, reference_route
 
@@ -57,7 +58,8 @@ def test_engine_core_speedup():
     speedup = ref_t / new_t
     record = {
         "benchmark": "SynchronousEngine.route, n=4096 (64x64), one packet per node",
-        "instance": {"side": 64, "packets": 4096, "seed": 3, "ports": "multi"},
+        "instance": {"side": 64, "packets": 4096, "seed": 3, "ports": "multi",
+                     **instance_metadata()},
         "steps": int(res.steps),
         "total_hops": int(res.total_hops),
         "max_queue": int(res.max_queue),

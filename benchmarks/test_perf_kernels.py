@@ -1,0 +1,149 @@
+"""Compiled-kernel benchmark: numba stepping core vs the NumPy core.
+
+Records ``benchmarks/BENCH_kernel.json``: one full-load routing
+instance (n = 4096, one packet per node, random permutation
+destinations) timed on the NumPy :class:`SteppingCore` and on the
+numba-compiled kernel backend, plus the batch curve-table build for
+both curves.  Methodology:
+
+* **Bit-identity before timing** — the compiled core must reproduce the
+  NumPy core's steps/hops/max-queue/traffic exactly on the benchmark
+  instance (the full certification lives in ``tests/test_kernels.py``
+  and ``tests/property/test_kernels.py``); a fast kernel that routes
+  differently would be worthless.
+* **Warm JIT** — every backend runs the instance once before its timed
+  repetitions, so ``@njit(cache=True)`` compilation and buffer growth
+  happen outside the measured region (compile time is reported
+  separately as ``first_call_seconds``).
+* Best-of-``REPEATS`` wall time per backend, as in the other perf
+  gates.
+
+When numba is not installed the JSON is still written — with the
+instance metadata and a ``note`` explaining the skip — and the test
+skips, mirroring BENCH_shard's low-core-count convention: an absent
+accelerator is an environment fact, never a regression signal.
+
+``REPRO_PERF_QUICK=1`` shrinks the mesh and lowers the target for the
+CI smoke job.  Full mode: ``pytest benchmarks/test_perf_kernels.py -q -s``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from _harness import instance_metadata
+
+from repro.mesh import Mesh, SteppingCore, numba_version
+
+BENCH_JSON = Path(__file__).parent / "BENCH_kernel.json"
+QUICK = os.environ.get("REPRO_PERF_QUICK") == "1"
+
+SIDE = 32 if QUICK else 64  # full mode: n = 4096, the acceptance instance
+#: The compiled path must beat the NumPy core by this factor.  The
+#: quick instance is small enough that per-call overhead (argument
+#: boxing, buffer setup) is a visible fraction of the run, so the quick
+#: gate only demands the kernels win at all.
+TARGET = 1.1 if QUICK else 2.0
+REPEATS = 3
+
+
+def _instance(mesh: Mesh):
+    """Full load: one packet per node, random permutation destinations."""
+    rng = np.random.default_rng(1994)
+    src = np.arange(mesh.n, dtype=np.int64)
+    dst = rng.permutation(mesh.n).astype(np.int64)
+    return [(src, dst)]
+
+
+def _best_time(fn, repeats=REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _write(record: dict) -> None:
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def test_kernel_speedup():
+    mesh = Mesh(SIDE)
+    record = {
+        "benchmark": (
+            f"numba kernel core vs NumPy SteppingCore, {SIDE}x{SIDE} mesh "
+            f"({mesh.n} packets, full-load permutation)"
+        ),
+        "instance": {"side": SIDE, "packets": mesh.n, "seed": 1994,
+                     "quick": QUICK, "repeats": REPEATS,
+                     **instance_metadata()},
+        "target_speedup": TARGET,
+    }
+    if numba_version() is None:
+        record["note"] = (
+            "numba is not installed in this environment, so the compiled "
+            "path cannot be timed; the NumPy reference core is the active "
+            "backend (bit-identity of the kernel algorithms is still "
+            "certified by the 'python' backend in tests/test_kernels.py "
+            "and tests/property/test_kernels.py)"
+        )
+        _write(record)
+        pytest.skip("numba not installed; BENCH_kernel.json notes the skip")
+
+    batches = _instance(mesh)
+    numpy_core = SteppingCore(mesh, kernels="numpy")
+    numba_core = SteppingCore(mesh, kernels="numba")
+
+    # Warm-up + bit-identity gate before any timing.  The first numba
+    # call pays JIT compilation; report it, keep it out of the timings.
+    ref = numpy_core.run(batches)
+    t0 = time.perf_counter()
+    got = numba_core.run(batches)
+    first_call = time.perf_counter() - t0
+    for r, g in zip(ref, got):
+        assert (r.steps, r.total_hops, r.max_queue) == (
+            g.steps, g.total_hops, g.max_queue,
+        )
+        np.testing.assert_array_equal(r.node_traffic, g.node_traffic)
+
+    numpy_t, _ = _best_time(lambda: numpy_core.run(batches))
+    numba_t, _ = _best_time(lambda: numba_core.run(batches))
+    speedup = numpy_t / numba_t
+
+    # Curve-table build: batch rank->node construction per curve (the
+    # second compiled surface; timed over fresh Mesh instances so the
+    # memoized table is rebuilt every call).
+    tables = {}
+    for curve in ("morton", "hilbert"):
+        Mesh(SIDE, curve, kernels="numba")._tables()  # warm the JIT
+        np_t, _ = _best_time(lambda c=curve: Mesh(SIDE, c, kernels="numpy")._tables())
+        nb_t, _ = _best_time(lambda c=curve: Mesh(SIDE, c, kernels="numba")._tables())
+        tables[curve] = {
+            "numpy_seconds": np_t,
+            "numba_seconds": nb_t,
+            "speedup": np_t / nb_t,
+        }
+
+    record.update(
+        steps=int(ref[0].steps),
+        numba=numba_version(),
+        first_call_seconds=first_call,
+        numpy_seconds=numpy_t,
+        numba_seconds=numba_t,
+        speedup=speedup,
+        curve_tables=tables,
+    )
+    _write(record)
+    print(
+        f"\nkernel speedup ({SIDE}x{SIDE}, {mesh.n} packets): "
+        f"numpy {numpy_t:.3f}s, numba {numba_t:.3f}s -> {speedup:.2f}x "
+        f"(JIT first call {first_call:.2f}s)"
+    )
+    assert speedup >= TARGET, (
+        f"compiled kernels {speedup:.2f}x vs NumPy core; target {TARGET}x"
+    )

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from _harness import instance_metadata
 
 import repro.obs as obs
 from repro.mesh import Mesh, PacketBatch, SynchronousEngine
@@ -70,7 +71,8 @@ def test_disabled_tracer_overhead():
         "benchmark": "SynchronousEngine.route disabled-tracer overhead "
         f"vs bare SteppingCore.run, n={mesh.n} ({SIDE}x{SIDE})",
         "instance": {"side": SIDE, "packets": mesh.n, "seed": 3,
-                     "quick": QUICK, "repeats": REPEATS},
+                     "quick": QUICK, "repeats": REPEATS,
+                     **instance_metadata()},
         "core_seconds": core_t,
         "disabled_tracer_seconds": disabled_t,
         "enabled_tracer_seconds": enabled_t,

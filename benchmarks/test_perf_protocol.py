@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 import pytest
+from _harness import instance_metadata
 
 from repro.cache import default_cache, reset_default_cache
 from repro.check.fuzz import run_fuzz_parallel
@@ -82,6 +83,7 @@ def _timed(fn):
 
 def _record(key: str, payload: dict) -> None:
     """Merge one benchmark record into the shared JSON file."""
+    payload.setdefault("instance", instance_metadata())
     data = {}
     if BENCH_JSON.exists():
         data = json.loads(BENCH_JSON.read_text())

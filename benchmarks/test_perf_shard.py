@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from _harness import instance_metadata
 
 from repro.mesh import Mesh, ShardedSteppingCore, SteppingCore
 
@@ -142,6 +143,8 @@ def test_shard_scaling():
             f"{SIDE}x{SIDE} mesh, full-load random permutation "
             f"({mesh.n} packets), shard counts {list(SHARD_COUNTS)}"
         ),
+        "instance": {"side": SIDE, "packets": mesh.n, "quick": QUICK,
+                     **instance_metadata()},
         "quick_mode": QUICK,
         "side": SIDE,
         "packets": mesh.n,

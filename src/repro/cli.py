@@ -10,6 +10,7 @@ Commands
 ``experiments``  list or execute the E1..E19 reproduction suite
 ``check``    differential verification: fuzz the stack against the PRAM
              oracle, or replay a recorded divergence artifact
+``kernels``  list stepping-core kernel backends and microbench them
 ``cache``    inspect or clear the on-disk HMOS artifact cache
 ``trace``    record a traced workload, summarize a trace file, or diff
              two traces to localize per-stage step regressions
@@ -59,6 +60,16 @@ def _add_shards_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernels_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.mesh import BACKEND_CHOICES
+
+    parser.add_argument(
+        "--kernels", choices=BACKEND_CHOICES, default=None,
+        help="stepping-core kernel backend (default: $REPRO_KERNELS or "
+        "auto = numba when installed; results are bit-identical)",
+    )
+
+
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fail-nodes", default=None, metavar="IDS",
@@ -105,7 +116,8 @@ def _cmd_step(args) -> int:
     scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
     faults = _build_injector(scheme, args)
     proto = AccessProtocol(
-        scheme, engine=args.engine, shards=args.shards, faults=faults
+        scheme, engine=args.engine, shards=args.shards,
+        kernels=args.kernels, faults=faults,
     )
     if args.workload == "adversarial":
         variables = module_collision_requests(scheme, args.n)
@@ -201,7 +213,8 @@ def _cmd_run(args) -> int:
     faults = _build_injector(scheme, args)
     machine = PRAMMachine(
         MeshBackend(
-            scheme, engine=args.engine, shards=args.shards, faults=faults
+            scheme, engine=args.engine, shards=args.shards,
+            kernels=args.kernels, faults=faults,
         ),
         args.n,
     )
@@ -302,13 +315,15 @@ def _cmd_trace(args) -> int:
         scheme = HMOS(n=args.n, alpha=args.alpha, q=args.q, k=args.k)
         faults = _build_injector(scheme, args)
         proto = AccessProtocol(
-            scheme, engine=args.engine, shards=args.shards, faults=faults
+            scheme, engine=args.engine, shards=args.shards,
+            kernels=args.kernels, faults=faults,
         )
         steps = _trace_workload(scheme, args)
         with obs.capture() as tracer:
             results = proto.run_steps(steps, on_error="record")
         out = obs.write_jsonl(tracer, args.out)
         print(f"trace: {len(tracer.events)} events -> {out}")
+        print(f"kernel backend: {proto.kernels}")
         if args.perfetto:
             chrome = obs.write_chrome_trace(tracer, args.perfetto)
             print(f"perfetto: open {chrome} at https://ui.perfetto.dev")
@@ -317,7 +332,7 @@ def _cmd_trace(args) -> int:
         refused = [r for r in results if isinstance(r, StepError)]
         for err in refused:
             print(f"step {err.index} refused: {err.message}")
-        report = SimulationReport()
+        report = SimulationReport(kernels=proto.kernels)
         report.extend(r for r in results if not isinstance(r, StepError))
         trace_bd = obs.stage_breakdown(tracer.events)
         report_bd = report.breakdown()
@@ -373,6 +388,7 @@ def _serve_config(args):
         fault_schedule=schedule,
         fault_machine=args.fault_machine,
         seed=args.seed,
+        kernels=args.kernels,
     )
 
 
@@ -503,6 +519,59 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _cmd_kernels(args) -> int:
+    """List kernel backends and microbench the arbitration hot loop."""
+    import time
+
+    from repro.mesh import Mesh, SteppingCore, available_backends
+
+    backends = available_backends()
+    print(format_table(
+        ["backend", "available", "detail"],
+        [[b["name"], "yes" if b["available"] else "no", b["detail"]]
+         for b in backends],
+        title="kernel backends",
+    ))
+    # Arbitration microbench: route one full random permutation per
+    # repetition (every node sends one packet; the link-arbitration
+    # scatter dominates).  Warm-up runs first so JIT compilation and
+    # buffer growth stay outside the timed region.
+    mesh = Mesh(args.side)
+    rng = np.random.default_rng(args.seed)
+    batches = [(
+        np.arange(mesh.n, dtype=np.int64),
+        rng.permutation(mesh.n).astype(np.int64),
+    )]
+    names = ["numpy"]
+    if any(b["name"] == "numba" and b["available"] for b in backends):
+        names.append("numba")
+    if args.python:
+        names.append("python")
+    timings: dict[str, float] = {}
+    for name in names:
+        core = SteppingCore(mesh, kernels=name)
+        core.run(batches)  # warm-up (JIT + allocation)
+        reps = 0
+        t0 = time.perf_counter()
+        while True:
+            core.run(batches)
+            reps += 1
+            elapsed = time.perf_counter() - t0
+            if elapsed >= args.seconds:
+                break
+        timings[name] = elapsed / reps
+    base = timings["numpy"]
+    print()
+    print(format_table(
+        ["backend", "ms/route", "vs numpy"],
+        [[name, f"{t * 1e3:.3f}", f"{base / t:.2f}x"]
+         for name, t in timings.items()],
+        title=f"arbitration microbench: {args.side}x{args.side} mesh, "
+        f"{mesh.n}-packet permutation, >={args.seconds:g}s per backend",
+    ))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.cache import ArtifactCache
 
@@ -530,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("step", help="simulate one PRAM memory step")
     _add_scheme_args(p)
     _add_shards_arg(p)
+    _add_kernels_arg(p)
     _add_fault_args(p)
     p.add_argument("--engine", choices=["cycle", "model"], default="cycle")
     p.add_argument("--workload", choices=["uniform", "adversarial"], default="uniform")
@@ -604,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scheme_args(pt)
     _add_shards_arg(pt)
+    _add_kernels_arg(pt)
     _add_fault_args(pt)
     pt.add_argument("--engine", choices=["cycle", "model"], default="cycle")
     pt.add_argument("--workload", choices=["uniform", "adversarial"],
@@ -626,6 +697,20 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("b", help="comparison trace (.jsonl)")
     pt.set_defaults(fn=_cmd_trace)
 
+    p = sub.add_parser(
+        "kernels",
+        help="list kernel backends and microbench the arbitration loop",
+    )
+    p.add_argument("--side", type=int, default=32,
+                   help="mesh side for the microbench (n = side^2 packets)")
+    p.add_argument("--seconds", type=float, default=1.0,
+                   help="minimum measured time per backend")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--python", action="store_true",
+                   help="also time the plain-Python kernel loops "
+                   "(slow; the bit-identity reference backend)")
+    p.set_defaults(fn=_cmd_kernels)
+
     p = sub.add_parser("cache", help="inspect or clear the HMOS artifact cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     for name, help_ in (
@@ -644,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="asyncio JSON-lines simulation server (repro.serve/1)"
     )
     _add_scheme_args(p)
+    _add_kernels_arg(p)
     _add_fault_args(p)
     _add_serve_args(p)
     p.add_argument("--host", default="127.0.0.1")
@@ -659,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
         "client", help="seeded client fleet against a repro.serve server"
     )
     _add_scheme_args(p)
+    _add_kernels_arg(p)
     _add_fault_args(p)
     _add_serve_args(p)
     p.add_argument("--connect", default=None, metavar="HOST:PORT",
@@ -684,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="assembly file, or - for stdin")
     _add_scheme_args(p)
     _add_shards_arg(p)
+    _add_kernels_arg(p)
     _add_fault_args(p)
     p.add_argument("--engine", choices=["cycle", "model"], default="model")
     p.add_argument("--data", help="comma-separated ints preloaded at MEM[0]")

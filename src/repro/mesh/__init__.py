@@ -26,6 +26,14 @@ from repro.mesh.engine import RouteResult, SynchronousEngine
 from repro.mesh.engine_core import CoreResult, SteppingCore, reference_route
 from repro.mesh.engine_shard import ShardedSteppingCore, resolve_shards
 from repro.mesh.hilbert import hilbert_decode, hilbert_encode
+from repro.mesh.kernels import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    KernelBackendError,
+    available_backends,
+    numba_version,
+    resolve_backend,
+)
 from repro.mesh.ksort import kk_sort, kk_sort_steps
 from repro.mesh.morton import morton_decode, morton_encode
 from repro.mesh.packets import PacketBatch
@@ -41,7 +49,13 @@ from repro.mesh.topology import Mesh
 from repro.mesh.viz import load_heatmap
 
 __all__ = [
+    "BACKEND_CHOICES",
     "CostModel",
+    "KernelBackend",
+    "KernelBackendError",
+    "available_backends",
+    "numba_version",
+    "resolve_backend",
     "broadcast",
     "reduce_all",
     "scan_snake",

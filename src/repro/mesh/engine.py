@@ -125,6 +125,11 @@ class SynchronousEngine:
         :class:`~repro.mesh.engine_shard.ShardedSteppingCore`, which
         fans the shards out over a persistent shared-memory worker pool
         on multi-core machines.
+    kernels : str or None
+        Kernel backend request — ``"auto"`` (default via
+        ``$REPRO_KERNELS``), ``"numpy"``, or ``"numba"`` (see
+        :func:`repro.mesh.kernels.resolve_backend`).  The resolved name
+        is exposed as :attr:`kernels`; every backend is bit-identical.
 
     The engine owns one stepping core and reuses its preallocated
     buffers (and, when sharded, its worker pool and shared-memory
@@ -133,20 +138,33 @@ class SynchronousEngine:
     state.
     """
 
-    def __init__(self, mesh: Mesh, *, ports: str = "multi", shards: int = 1):
+    def __init__(
+        self,
+        mesh: Mesh,
+        *,
+        ports: str = "multi",
+        shards: int = 1,
+        kernels: str | None = None,
+    ):
         if ports not in ("multi", "single"):
             raise ValueError(f"ports must be 'multi' or 'single', got {ports!r}")
         self.mesh = mesh
         self.ports = ports
         from repro.mesh.engine_shard import resolve_shards
+        from repro.mesh.kernels import resolve_backend
 
+        self._backend = resolve_backend(kernels)
+        #: Resolved kernel backend name ("numpy", "numba", or "python").
+        self.kernels = self._backend.name
         self.shards = resolve_shards(shards, mesh.side)
         if self.shards > 1:
             from repro.mesh.engine_shard import ShardedSteppingCore
 
-            self._core = ShardedSteppingCore(mesh, ports, shards=self.shards)
+            self._core = ShardedSteppingCore(
+                mesh, ports, shards=self.shards, kernels=self._backend
+            )
         else:
-            self._core = SteppingCore(mesh, ports)
+            self._core = SteppingCore(mesh, ports, kernels=self._backend)
 
     def close(self) -> None:
         """Release sharded-core resources (worker pool, shared memory).

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.mesh.kernels import KernelBackend, resolve_backend
 from repro.mesh.topology import Mesh
 
 __all__ = ["CoreResult", "SteppingCore", "reference_route"]
@@ -82,16 +83,23 @@ class SteppingCore:
     never reallocates the hot-loop arrays.
     """
 
-    def __init__(self, mesh: Mesh, ports: str = "multi"):
+    def __init__(
+        self,
+        mesh: Mesh,
+        ports: str = "multi",
+        kernels: str | KernelBackend | None = None,
+    ):
         if ports not in ("multi", "single"):
             raise ValueError(f"ports must be 'multi' or 'single', got {ports!r}")
         self.mesh = mesh
         self.ports = ports
+        self.kernels = resolve_backend(kernels)
         self._cap = 0  # per-packet buffer capacity
         self._nbuckets = 0  # link-bucket capacity
         self._state: list[list[np.ndarray]] = [[], []]
         self._scratch: dict[str, np.ndarray] = {}
         self._best = np.empty(0, dtype=np.int64)
+        self._occ = np.empty(0, dtype=np.int64)
 
     # -- buffer management -------------------------------------------------
 
@@ -101,9 +109,24 @@ class SteppingCore:
         # between lazy compactions.
         nbuckets = (nbatches * self.mesh.n + 1) * per_node
         if nbuckets > self._nbuckets:
+            # Release the outgrown buffer before allocating the bigger
+            # one, so peak RSS never holds both generations at once.
+            self._best = np.empty(0, dtype=np.int64)
             self._best = np.full(nbuckets, -1, dtype=np.int64)
             self._nbuckets = nbuckets
+        occ_need = nbatches * self.mesh.n
+        if occ_need > self._occ.size:
+            self._occ = np.empty(0, dtype=np.int64)
+            self._occ = np.empty(occ_need, dtype=np.int64)
         if npkt > self._cap:
+            # Same release-first discipline for the big per-packet
+            # generations: drop the old state/scratch arrays *before*
+            # allocating the grown ones (growth is copy-free — every
+            # run refills the state from its batches — so nothing needs
+            # both generations live, and holding them doubled the
+            # transient footprint of every growth).
+            self._state = [[], []]
+            self._scratch = {}
             self._state = [
                 [np.empty(npkt, dtype=np.int64) for _ in range(_N_STATE)]
                 for _ in range(2)
@@ -218,6 +241,16 @@ class SteppingCore:
             srow[sl] = srw * side
             sdel[sl] = scol - srow[sl]
             m += k
+
+        if self.kernels.ops is not None and observer is None:
+            # Compiled (or plain-Python reference) kernel loop.  The
+            # observer hook exposes per-step internals in the NumPy
+            # path's layout, so observed runs stay on the reference
+            # loop — it is a debugging instrument, not a hot path.
+            return self._run_kernel(
+                caps, counts, total_hops, steps_out, maxq, traffic, m, P,
+                occupancy,
+            )
 
         best = self._best
         sc_ = self._scratch
@@ -352,6 +385,95 @@ class SteppingCore:
                     np.copyto(seg_len, counts)
                     g, re_, rc_, pv_, mc, d, link, val, got, delta, mv, tmp, done = _views(m)
 
+        traffic2d = traffic[: nb * n].reshape(nb, n)
+        return [
+            CoreResult(
+                steps=int(steps_out[b]),
+                total_hops=int(total_hops[b]),
+                max_queue=int(maxq[b]),
+                node_traffic=traffic2d[b].copy(),
+            )
+            for b in range(nb)
+        ]
+
+    # -- kernel-backend loop -----------------------------------------------
+
+    def _run_kernel(
+        self, caps, counts, total_hops, steps_out, maxq, traffic, m, P,
+        occupancy,
+    ) -> list[CoreResult]:
+        """The stepping loop with the per-step body fused into kernels.
+
+        Three kernel calls replace the ~15 elementwise NumPy ops of the
+        reference loop: ``occupancy_maxq`` (sample + per-batch peak
+        fold), ``arbitrate_advance`` (bucketed link-key max-scatter,
+        winner read-back, movement, traffic, delivery detection and
+        parking in ONE pass over the active set), and ``compact`` (the
+        ping-pong compaction).  All per-batch bookkeeping, the
+        compaction policy, and the livelock guard are byte-identical to
+        the reference loop — so are the results, certified by the
+        golden/property/oracle suites.
+        """
+        ops = self.kernels.ops
+        mesh = self.mesh
+        n = mesh.n
+        nb = counts.size
+        multi = self.ports == "multi"
+        cur = self._state[0]
+        alt = self._state[1]
+        best = self._best
+        sc_ = self._scratch
+        occ = self._occ[: nb * n]
+        link, mv, done = sc_["link"], sc_["mv"], sc_["done"]
+        park = nb * n
+        step = 0
+        live = m
+        dead = 0
+        seg_len = counts.copy()
+        cap_min = int(caps[counts > 0].min()) if live else 0
+        while live:
+            if step >= cap_min:
+                stuck = counts[(counts > 0) & (caps <= step)]
+                if stuck.size:
+                    raise RuntimeError(
+                        f"routing exceeded {step} steps; {int(stuck.sum())} stuck"
+                    )
+            ops.occupancy_maxq(cur[0], m, occ, maxq, nb, n)
+            if occupancy is not None:
+                occupancy(occ)
+            ndone = ops.arbitrate_advance(
+                cur[0], cur[1], cur[2], cur[3], cur[4], cur[5], cur[6], cur[7],
+                m, P, multi, park, best, link, mv, done, traffic,
+            )
+            step += 1
+            if ndone:
+                pos = 0
+                for b in range(nb):
+                    k = int(seg_len[b])
+                    if k == 0:
+                        continue
+                    db = int(np.count_nonzero(done[pos : pos + k]))
+                    pos += k
+                    if db:
+                        counts[b] -= db
+                        if counts[b] == 0:
+                            steps_out[b] = step
+                live -= ndone
+                dead += ndone
+                if live == 0:
+                    break
+                cap_min = int(caps[counts > 0].min())
+                if dead * 4 >= m:
+                    k = ops.compact(
+                        cur[0], cur[1], cur[2], cur[3],
+                        cur[4], cur[5], cur[6], cur[7],
+                        alt[0], alt[1], alt[2], alt[3],
+                        alt[4], alt[5], alt[6], alt[7], m,
+                    )
+                    cur, alt = alt, cur
+                    m = k
+                    dead = 0
+                    np.copyto(seg_len, counts)
         traffic2d = traffic[: nb * n].reshape(nb, n)
         return [
             CoreResult(

@@ -52,6 +52,7 @@ from threading import BrokenBarrierError
 import numpy as np
 
 from repro.mesh.engine_core import _N_STATE, CoreResult
+from repro.mesh.kernels import KernelBackend, resolve_backend
 from repro.mesh.topology import Mesh
 from repro.parallel import ShardWorkerPool, SharedSlabSet, attach_slab
 
@@ -95,6 +96,7 @@ class _ShardState:
         traffic: np.ndarray,
         maxq: np.ndarray,
         bins: np.ndarray | None = None,
+        ops=None,
     ):
         self.rank = rank
         self.n = n
@@ -109,8 +111,15 @@ class _ShardState:
         self.traffic = traffic  # flat (nb * ln,)
         self.maxq = maxq  # (nb,)
         self.bins = bins  # occupancy histogram bins or None
+        self.ops = ops  # kernel namespace, or None for the NumPy path
         per = 4 if self.multi else 1
         self.best = np.full(max(1, nb * self.ln * per), -1, dtype=np.int64)
+        # Kernel-path scratch: per-packet link keys and per-batch
+        # delivery counts, reused across steps.
+        self._link = (
+            np.empty(state.shape[1], dtype=np.int64) if ops is not None else None
+        )
+        self._db = np.empty(nb, dtype=np.int64) if ops is not None else None
 
     def _local(self, g: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Batch-offset local slot id of each packet's current node."""
@@ -148,6 +157,17 @@ class _ShardState:
         nb = self.nb
         if m == 0:
             return 0, 0, np.zeros(nb, dtype=np.int64)
+        if self.ops is not None:
+            # Fused kernel: arbitration, movement, halo routing, and
+            # stable in-place compaction in one pass (bit-identical to
+            # the NumPy code below; certified by the property suite).
+            n_up, n_down, k = self.ops.shard_advance(
+                self.state, m, nb, self.n, self.ln, self.base, self.P,
+                self.multi, self.best, self._link, self.traffic,
+                out_up, out_down, self._db,
+            )
+            self.m = int(k)
+            return int(n_up), int(n_down), self._db
         st = self.state
         g = st[0, :m]
         rem = st[1, :m]
@@ -250,6 +270,10 @@ class ShardedSteppingCore:
         strictly cheaper.  Both drivers are bit-identical.
     start_method : str, optional
         Forwarded to the worker pool (testing hook).
+    kernels : str, KernelBackend, or None, optional
+        Kernel backend request (see :func:`repro.mesh.kernels.resolve_backend`).
+        Per-shard arbitration stays bit-identical to the global one on
+        every backend.
     """
 
     def __init__(
@@ -260,11 +284,13 @@ class ShardedSteppingCore:
         shards: int = 2,
         processes: bool | None = None,
         start_method: str | None = None,
+        kernels: str | KernelBackend | None = None,
     ):
         if ports not in ("multi", "single"):
             raise ValueError(f"ports must be 'multi' or 'single', got {ports!r}")
         self.mesh = mesh
         self.ports = ports
+        self.kernels = resolve_backend(kernels)
         self.shards = resolve_shards(shards, mesh.side)
         if processes is None:
             processes = (os.cpu_count() or 1) > 1
@@ -421,6 +447,7 @@ class ShardedSteppingCore:
                 state=local,
                 traffic=np.zeros(nb * ln, dtype=np.int64),
                 maxq=np.zeros(nb, dtype=np.int64),
+                ops=self.kernels.ops,
             )
             st.m = k
             shard_states.append(st)
@@ -525,6 +552,7 @@ class ShardedSteppingCore:
             "counts": counts.tolist(),
             "caps": caps.tolist(),
             "want_bins": want_bins,
+            "kernels": self.kernels.name,
             "slabs": {key: (names[key], shapes[key]) for key in shapes},
         }
         if self._pool is None:
@@ -600,6 +628,7 @@ def _run_shard(rank, S, barrier, spec, cache, scratch):
         traffic=views["traffic"][rank].reshape(-1),
         maxq=views["maxq"][rank],
         bins=views["bins"][rank] if spec["want_bins"] else None,
+        ops=resolve_backend(spec.get("kernels", "numpy")).ops,
     )
     st.m = int(spec["m"][rank])
     # Reuse the link buckets across runs (grow-only, wiped to the

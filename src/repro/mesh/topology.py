@@ -41,7 +41,7 @@ class Mesh:
       the ablation baseline.
     """
 
-    def __init__(self, side: int, curve: str = "morton"):
+    def __init__(self, side: int, curve: str = "morton", *, kernels=None):
         check_positive("side", side)
         if not is_power_of(side, 2):
             raise ValueError(f"mesh side must be a power of 2, got {side}")
@@ -57,6 +57,10 @@ class Mesh:
         # threshold keep the direct arithmetic path.
         self._rank_to_node: np.ndarray | None = None
         self._node_to_rank: np.ndarray | None = None
+        # Kernel backend request for the batch table build; resolved
+        # lazily at first _tables() so mesh construction never imports
+        # (let alone compiles) anything.
+        self._kernels = kernels
 
     _TABLE_MAX_N = 1 << 20
 
@@ -66,14 +70,24 @@ class Mesh:
         if self.curve == "row" or self.n > self._TABLE_MAX_N:
             return None
         if self._rank_to_node is None:
-            ranks = np.arange(self.n, dtype=np.int64)
-            if self.curve == "hilbert":
-                row, col = hilbert_decode(ranks, self.bits)
+            from repro.mesh.kernels import resolve_backend
+
+            ops = resolve_backend(self._kernels).ops
+            if ops is not None:
+                table = np.empty(self.n, dtype=np.int64)
+                if self.curve == "hilbert":
+                    ops.hilbert_table(self.bits, self.side, table)
+                else:
+                    ops.morton_table(self.bits, self.side, table)
             else:
-                row, col = morton_decode(ranks, self.bits)
-            table = row * self.side + col
+                ranks = np.arange(self.n, dtype=np.int64)
+                if self.curve == "hilbert":
+                    row, col = hilbert_decode(ranks, self.bits)
+                else:
+                    row, col = morton_decode(ranks, self.bits)
+                table = row * self.side + col
             inverse = np.empty(self.n, dtype=np.int64)
-            inverse[table] = ranks
+            inverse[table] = np.arange(self.n, dtype=np.int64)
             self._rank_to_node = table
             self._node_to_rank = inverse
         return self._rank_to_node, self._node_to_rank

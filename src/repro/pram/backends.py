@@ -113,6 +113,9 @@ class MeshBackend:
     shards : int, optional
         Submesh shard count for the cycle engine (forwarded to
         :class:`AccessProtocol`; ``None`` reads ``$REPRO_SHARDS``).
+    kernels : str, optional
+        Kernel backend for the cycle engine (forwarded to
+        :class:`AccessProtocol`; ``None`` reads ``$REPRO_KERNELS``).
     faults : FaultInjector, optional
         Forwarded to :class:`AccessProtocol`; single-step calls tick
         the injector's fault-schedule clock exactly like the batched
@@ -127,12 +130,13 @@ class MeshBackend:
         engine: str = "model",
         cost_model: CostModel | None = None,
         shards: int | None = None,
+        kernels: str | None = None,
         faults=None,
     ):
         self.scheme = scheme
         self.protocol = AccessProtocol(
             scheme, engine=engine, cost_model=cost_model, shards=shards,
-            faults=faults,
+            kernels=kernels, faults=faults,
         )
         self.memory_size = scheme.num_variables
         self.max_requests = scheme.params.n

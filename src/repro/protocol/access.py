@@ -199,6 +199,11 @@ class AccessProtocol:
         (bit-identical results; shards only change wall-clock).
         ``None`` reads ``$REPRO_SHARDS`` (default 1).  Ignored by the
         model engine, which routes nothing.
+    kernels : str, optional
+        Kernel backend for the cycle engine's stepping loops
+        (bit-identical results; kernels only change wall-clock).
+        ``None`` reads ``$REPRO_KERNELS`` (default ``"auto"``).
+        Ignored by the model engine.
     """
 
     def __init__(
@@ -210,6 +215,7 @@ class AccessProtocol:
         faults: FaultInjector | None = None,
         reuse: bool = True,
         shards: int | None = None,
+        kernels: str | None = None,
     ):
         if engine not in ("cycle", "model"):
             raise ValueError(f"engine must be 'cycle' or 'model', got {engine!r}")
@@ -221,11 +227,13 @@ class AccessProtocol:
         self.faults = faults
         self.reuse = reuse
         self._sync = (
-            SynchronousEngine(scheme.mesh, shards=shards)
+            SynchronousEngine(scheme.mesh, shards=shards, kernels=kernels)
             if engine == "cycle"
             else None
         )
         self.shards = self._sync.shards if self._sync is not None else 1
+        #: Resolved kernel backend name ("n/a" for the model engine).
+        self.kernels = self._sync.kernels if self._sync is not None else "n/a"
 
     # -- public API -----------------------------------------------------------
 

@@ -21,9 +21,17 @@ __all__ = ["SimulationReport"]
 
 @dataclass
 class SimulationReport:
-    """Mutable accumulator of per-step access results."""
+    """Mutable accumulator of per-step access results.
+
+    ``kernels`` optionally records the resolved kernel backend of the
+    protocol that produced the results (``AccessProtocol.kernels``);
+    when set it is echoed in :meth:`summary` so saved reports say which
+    stepping-core implementation ran (the backends are bit-identical,
+    so this is provenance, not a caveat).
+    """
 
     results: list[AccessResult] = field(default_factory=list)
+    kernels: str | None = None
 
     def record(self, result: AccessResult) -> AccessResult:
         """Add one step's result (returns it, for chaining)."""
@@ -97,15 +105,16 @@ class SimulationReport:
             shares = "n/a (no mesh steps charged)"
         ops = ", ".join(f"{k}: {v}" for k, v in sorted(self.op_counts().items()))
         sizes = np.array([r.variables.size for r in self.results])
-        return "\n".join(
-            [
-                f"SimulationReport: {self.steps} memory steps ({ops})",
-                f"  total mesh steps: {total:.0f} "
-                f"(mean {self.mean_step_cost:.0f}/step)",
-                f"  requests/step: min {sizes.min()}, mean {sizes.mean():.0f}, "
-                f"max {sizes.max()}",
-                f"  time share: {shares}",
-                f"  worst per-node load: {self.worst_delta()}; "
-                f"worst page load: {self.worst_page_load()}",
-            ]
-        )
+        lines = [
+            f"SimulationReport: {self.steps} memory steps ({ops})",
+            f"  total mesh steps: {total:.0f} "
+            f"(mean {self.mean_step_cost:.0f}/step)",
+            f"  requests/step: min {sizes.min()}, mean {sizes.mean():.0f}, "
+            f"max {sizes.max()}",
+            f"  time share: {shares}",
+            f"  worst per-node load: {self.worst_delta()}; "
+            f"worst page load: {self.worst_page_load()}",
+        ]
+        if self.kernels is not None:
+            lines.append(f"  kernel backend: {self.kernels}")
+        return "\n".join(lines)

@@ -93,6 +93,7 @@ class ServeConfig:
     fault_schedule: tuple[FaultEvent, ...] = ()
     fault_machine: int = 0
     seed: int = 0
+    kernels: str | None = None
 
     def __post_init__(self):
         if self.pool < 1:
@@ -171,7 +172,8 @@ class _Machine:
         )
         self.faults = _build_injector(self.scheme, config, index)
         self.protocol = AccessProtocol(
-            self.scheme, engine=config.engine, faults=self.faults
+            self.scheme, engine=config.engine, faults=self.faults,
+            kernels=config.kernels,
         )
         self.pending: deque[_Pending] = deque()
         self.ledger: list[LedgerStep] = []
@@ -611,7 +613,8 @@ class ServerCore:
         )
         injector = _build_injector(replay_scheme, config, machine.index)
         replay_protocol = AccessProtocol(
-            replay_scheme, engine=config.engine, faults=injector
+            replay_scheme, engine=config.engine, faults=injector,
+            kernels=config.kernels,
         )
         replay = replay_protocol.run_steps(
             [s.to_request() for s in machine.ledger],

@@ -274,3 +274,40 @@ class TestServeCommands:
         assert "refused (degraded)" in out
         assert "yes" in out  # the degraded pool-slot column
         assert "certified: batched execution byte-identical" in out
+
+
+class TestKernelsCommand:
+    def test_lists_backends_and_benches(self, capsys):
+        assert main([
+            "kernels", "--side", "8", "--seconds", "0.02",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel backends" in out
+        assert "numpy" in out and "numba" in out
+        assert "arbitration microbench" in out
+        assert "vs numpy" in out
+
+    def test_python_backend_opt_in(self, capsys):
+        assert main([
+            "kernels", "--side", "4", "--seconds", "0.01", "--python",
+        ]) == 0
+        out = capsys.readouterr().out
+        # One listing row + one timing row mention the python backend.
+        assert out.count("python") >= 2
+
+    def test_step_accepts_kernels_flag(self, capsys):
+        assert main([
+            "step", "--n", "64", "--kernels", "numpy",
+        ]) == 0
+        assert "T_sim measured" in capsys.readouterr().out
+
+    def test_step_rejects_unknown_kernels_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["step", "--kernels", "fortran"])
+
+    def test_trace_run_reports_backend(self, capsys, tmp_path):
+        assert main([
+            "trace", "run", "--n", "64", "--steps", "2",
+            "--kernels", "numpy", "--out", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        assert "kernel backend: numpy" in capsys.readouterr().out
