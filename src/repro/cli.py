@@ -383,6 +383,8 @@ def _serve_config(args):
         pool=args.pool,
         window_max=args.window,
         inflight_max=args.inflight,
+        retain_max=args.retain,
+        drr_quantum=args.quantum,
         failed_nodes=nodes,
         failed_processors=procs,
         fault_schedule=schedule,
@@ -401,6 +403,11 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         help="per-session admission budget")
     parser.add_argument("--fault-machine", type=int, default=0,
                         help="pool slot the --fail-* flags degrade")
+    parser.add_argument("--retain", type=int, default=256,
+                        help="retained outcomes per RESUME idempotency scope")
+    parser.add_argument("--quantum", type=int, default=None,
+                        help="fair-share DRR quantum in processor slots "
+                        "(default: n // window)")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -412,6 +419,31 @@ def _cmd_serve(args) -> int:
     from repro.serve.server import start_server
 
     config = _serve_config(args)
+
+    if args.procs > 1:
+        from repro.serve.multiproc import run_multiproc
+
+        def _ready(port: int) -> None:
+            degraded = " (degraded pool slot %d)" % config.fault_machine if (
+                config.has_faults
+            ) else ""
+            print(
+                f"repro serve: n={config.n} procs={args.procs} "
+                f"window={config.window_max} listening on "
+                f"{args.host}:{port}{degraded} "
+                f"(tenants pinned by crc32 % {args.procs})",
+                flush=True,
+            )
+
+        try:
+            run_multiproc(
+                config, args.procs, host=args.host, port=args.port,
+                on_ready=_ready,
+            )
+            print("repro serve: stopped")
+        except KeyboardInterrupt:
+            print("repro serve: interrupted")
+        return 0
 
     async def _run() -> None:
         handle = await start_server(config, host=args.host, port=args.port)
@@ -450,6 +482,44 @@ def _cmd_client(args) -> int:
     from repro.util import format_table as _table
 
     config = _serve_config(args)
+    if args.loadgen:
+        from repro.serve.loadgen import run_loadgen
+
+        fleets = tuple(int(x) for x in args.fleets.split(","))
+        windows = tuple(int(x) for x in args.windows.split(","))
+        frontier = run_loadgen(
+            scheme=dict(n=config.n, alpha=config.alpha, q=config.q, k=config.k),
+            engine="model",
+            fleets=fleets,
+            windows=windows,
+            requests=args.requests,
+            batch=args.batch,
+            seed=args.seed,
+            pipeline=args.pipeline,
+            procs=args.procs,
+            out=args.out,
+        )
+        print(_table(
+            ["fleet", "window", "delivered", "steps/req",
+             "p50 ms", "p99 ms", "wall s"],
+            [
+                [s["fleet"], s["window"], s["delivered"],
+                 f"{s['mesh_steps_per_request']:.1f}"
+                 if s["mesh_steps_per_request"] is not None else "-",
+                 f"{1e3 * s['latency_p50']:.2f}"
+                 if s["latency_p50"] is not None else "-",
+                 f"{1e3 * s['latency_p99']:.2f}"
+                 if s["latency_p99"] is not None else "-",
+                 f"{s['wall_seconds']:.3f}"]
+                for s in frontier["samples"]
+            ],
+            title=f"loadgen frontier: {len(fleets)} fleet size(s) x "
+            f"{len(windows)} window(s), procs={args.procs} "
+            f"(seed {args.seed})",
+        ))
+        if args.out:
+            print(f"\nfrontier written to {args.out}")
+        return 0
     if args.scripted:
         from repro.serve.harness import ScriptedFleet
 
@@ -735,6 +805,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="listen port (0 = ephemeral, printed at boot)")
+    p.add_argument("--procs", type=int, default=1,
+                   help="worker processes behind one listener (tenants "
+                   "pinned by stable hash; 1 = single-process)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a JSONL obs trace at shutdown")
     p.add_argument("--perfetto", default=None, metavar="PATH",
@@ -765,6 +838,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the batched-vs-sequential certification")
     p.add_argument("--shutdown", action="store_true",
                    help="send SHUTDOWN to the --connect server afterwards")
+    p.add_argument("--loadgen", action="store_true",
+                   help="sweep fleet sizes x windows against hermetic "
+                   "servers and chart the latency/amortization frontier")
+    p.add_argument("--fleets", default="2,4,8", metavar="N,N,...",
+                   help="fleet sizes the loadgen sweeps")
+    p.add_argument("--windows", default="1,4,16", metavar="N,N,...",
+                   help="window widths the loadgen sweeps")
+    p.add_argument("--procs", type=int, default=1,
+                   help="worker processes per loadgen server")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the loadgen frontier JSON here")
     p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser("run", help="run a PRAM assembly program on the mesh")

@@ -15,19 +15,37 @@ executor:
 * :mod:`repro.serve.client` — an asyncio client and a seeded
   multi-client bench/test fleet;
 * :mod:`repro.serve.harness` — the deterministic in-process event-loop
-  harness (seeded scripted fleets, no sockets, no wall clock).
+  harness (seeded scripted fleets, no sockets, no wall clock);
+* :mod:`repro.serve.multiproc` — multi-process serving: one core per
+  forked worker behind a shared listener, tenants pinned by stable
+  hash (parent-socket handoff);
+* :mod:`repro.serve.loadgen` — the fleet-size × window load generator
+  behind ``repro client --loadgen`` (``BENCH_serve_scale.json``).
+
+Inside the batching window requests are scheduled fair-share across
+sessions by deficit round-robin (see :class:`ServerCore`), and clients
+may open sessions with a RESUME token to make requests idempotent
+across reconnects.
 """
 
 from repro.serve.client import FleetReport, ServeClient, run_fleet
 from repro.serve.harness import ScriptedFleet
+from repro.serve.loadgen import run_loadgen
+from repro.serve.multiproc import MultiprocServer, run_multiproc
 from repro.serve.protocol import (
     WIRE_FORMAT,
     FrameError,
     Message,
     decode_message,
     encode_message,
+    frame_limit,
 )
-from repro.serve.server import ServeConfig, ServerCore, start_server
+from repro.serve.server import (
+    ServeConfig,
+    ServerCore,
+    ServeTransport,
+    start_server,
+)
 from repro.serve.session import Session, SessionLimits
 
 __all__ = [
@@ -35,14 +53,19 @@ __all__ = [
     "FleetReport",
     "FrameError",
     "Message",
+    "MultiprocServer",
     "ScriptedFleet",
     "ServeClient",
     "ServeConfig",
+    "ServeTransport",
     "ServerCore",
     "Session",
     "SessionLimits",
     "decode_message",
     "encode_message",
+    "frame_limit",
     "run_fleet",
+    "run_loadgen",
+    "run_multiproc",
     "start_server",
 ]

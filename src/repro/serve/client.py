@@ -33,6 +33,12 @@ __all__ = [
     "run_fleet",
 ]
 
+#: ``n`` assumed when sizing the client-side stream limit before the
+#: server's WELCOME reveals the real scheme — covers any deployment up
+#: to 2**16 variables (a limit, not an allocation); ``connect(limit=…)``
+#: overrides it.
+_DEFAULT_LIMIT_N = 1 << 16
+
 
 def request_stream(
     seed: int,
@@ -244,17 +250,33 @@ class ServeClient:
         tenant: str,
         *,
         machine: int | None = None,
+        resume: str | None = None,
+        limit: int | None = None,
     ) -> ServeClient:
-        reader, writer = await asyncio.open_connection(host, port)
-        writer.write(
-            wire.encode_message(wire.Hello(tenant=tenant, machine=machine))
-        )
+        """Open a session.  ``resume`` names an idempotency scope: the
+        opener becomes RESUME instead of HELLO and retained outcomes of
+        a previous incarnation become replayable.  ``limit`` overrides
+        the stream-reader byte limit (default: sized for the server's
+        largest legal frame via :func:`~repro.serve.protocol.frame_limit`,
+        assuming the deployment ceiling ``n``)."""
+        if limit is None:
+            limit = wire.frame_limit(_DEFAULT_LIMIT_N)
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        if resume is not None:
+            opener: wire.Message = wire.Resume(
+                tenant=tenant, token=resume, machine=machine
+            )
+        else:
+            opener = wire.Hello(tenant=tenant, machine=machine)
+        writer.write(wire.encode_message(opener))
         await writer.drain()
         line = await reader.readline()
         reply = wire.decode_message(line)
         if isinstance(reply, wire.Refused):
             writer.close()
-            raise RuntimeError(f"HELLO refused [{reply.code}]: {reply.message}")
+            raise RuntimeError(
+                f"{opener.TYPE} refused [{reply.code}]: {reply.message}"
+            )
         if not isinstance(reply, wire.Welcome):
             writer.close()
             raise RuntimeError(f"expected WELCOME, got {reply.TYPE}")
@@ -265,7 +287,12 @@ class ServeClient:
         await self.writer.drain()
 
     async def recv(self) -> wire.Message:
-        line = await self.reader.readline()
+        try:
+            line = await self.reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise wire.FrameError(
+                "bad-frame", f"reply overran the stream limit: {exc}"
+            ) from exc
         if not line:
             raise ConnectionError("server closed the connection")
         return wire.decode_message(line)

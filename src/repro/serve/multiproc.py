@@ -1,0 +1,374 @@
+"""Multi-process serving: one :class:`ServerCore` per worker process
+behind a single shared listener.
+
+Topology (parent-socket handoff, the portable cousin of SO_REUSEPORT
+with deterministic routing):
+
+- The **parent** owns the listening socket.  For each accepted
+  connection it reads raw bytes until the first frame (the HELLO or
+  RESUME opener) is complete, decodes just enough to learn the tenant,
+  and hands the connected file descriptor — plus *every byte already
+  consumed*, so pipelined frames are never lost — to the worker chosen
+  by ``crc32(tenant) % procs``.  Tenants are therefore pinned to
+  workers by stable hash, and each worker's core remains a single
+  deterministic serial machine: replay certification stays per-core
+  exactly as in single-process serving.
+- Each **worker** is a forked process running its own event loop with a
+  private :class:`~repro.serve.server.ServerCore` wrapped in the same
+  :class:`~repro.serve.server.ServeTransport` the single-process server
+  uses.  Received descriptors are rebuilt into asyncio streams; the
+  parent's buffered bytes are fed into the reader *before* the
+  transport attaches, preserving byte order.
+
+Control runs over per-worker ``AF_UNIX``/``SOCK_DGRAM`` socketpairs:
+``b"C" + initial_bytes`` with an attached fd hands off a connection,
+``b"Q"`` asks a worker to exit, and a worker sends ``b"S"`` upward when
+a client requested SHUTDOWN (the parent then stops the whole fleet).
+
+Workers are forked from *synchronous* context (:meth:`MultiprocServer.
+start`) before any event loop exists — forking from inside a running
+loop poisons the child's thread state — so the lifecycle is
+``start()`` (sync) → ``await serve()`` (async router) → ``stop()``
+(sync teardown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import socket
+import zlib
+
+from repro.serve import protocol as wire
+from repro.serve.server import ServeConfig, ServerCore, ServeTransport
+
+__all__ = ["MultiprocServer", "run_multiproc"]
+
+#: Upper bound on parent-side buffering while waiting for the opener
+#: frame; an opener larger than this is refused (HELLO/RESUME are tiny
+#: — a frame this size is not a legal opener).
+_OPENER_LIMIT = 1 << 16
+
+
+def pin_worker(tenant: str, procs: int) -> int:
+    """The worker index a tenant is pinned to (stable hash)."""
+    return zlib.crc32(tenant.encode("utf-8")) % procs
+
+
+# -- worker process ---------------------------------------------------------
+
+
+def _worker_main(
+    index: int,
+    config: ServeConfig,
+    ctrl: socket.socket,
+    inherited: list[socket.socket],
+    linger: float,
+) -> None:
+    """Entry point of one forked worker: close inherited fds that are
+    not ours, then serve handed-off connections until told to quit."""
+    for sock in inherited:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    try:
+        asyncio.run(_worker_serve(index, config, ctrl, linger))
+    except KeyboardInterrupt:
+        pass
+
+
+async def _worker_serve(
+    index: int, config: ServeConfig, ctrl: socket.socket, linger: float
+) -> None:
+    core = ServerCore(config)
+    core.proc = index
+    transport = ServeTransport(core, linger=linger)
+    transport.start_batcher()
+    loop = asyncio.get_running_loop()
+    done = asyncio.Event()
+    conn_tasks: set[asyncio.Task] = set()
+
+    def _on_ctrl() -> None:
+        while True:
+            try:
+                data, fds, _flags, _addr = socket.recv_fds(ctrl, 1 << 20, 8)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                done.set()
+                return
+            if not data or data[:1] == b"Q":
+                done.set()
+                return
+            if data[:1] == b"C" and fds:
+                conn = socket.socket(fileno=fds[0])
+                for extra in fds[1:]:  # defensive: never leak
+                    socket.close(extra)
+                task = asyncio.ensure_future(
+                    _serve_handoff(transport, conn, data[1:])
+                )
+                conn_tasks.add(task)
+                task.add_done_callback(conn_tasks.discard)
+
+    ctrl.setblocking(False)
+    loop.add_reader(ctrl.fileno(), _on_ctrl)
+
+    async def _propagate_shutdown() -> None:
+        await transport.stop_event.wait()
+        try:
+            ctrl.send(b"S")
+        except OSError:
+            pass
+
+    watcher = asyncio.create_task(_propagate_shutdown())
+    try:
+        await done.wait()
+    finally:
+        loop.remove_reader(ctrl.fileno())
+        watcher.cancel()
+        for task in list(conn_tasks):
+            task.cancel()
+        await asyncio.gather(watcher, *conn_tasks, return_exceptions=True)
+        await transport.stop()
+        ctrl.close()
+
+
+async def _serve_handoff(
+    transport: ServeTransport, conn: socket.socket, initial: bytes
+) -> None:
+    """Rebuild asyncio streams around a handed-off descriptor and run
+    the standard connection loop.  ``initial`` (the bytes the parent
+    consumed while routing) is fed into the reader BEFORE the socket
+    transport attaches, so no byte is observed out of order."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader(limit=transport.limit, loop=loop)
+    protocol = asyncio.StreamReaderProtocol(reader, loop=loop)
+    if initial:
+        reader.feed_data(initial)
+    conn.setblocking(False)
+    sock_transport, _ = await loop.create_connection(lambda: protocol, sock=conn)
+    writer = asyncio.StreamWriter(sock_transport, protocol, reader, loop)
+    await transport.handle_connection(reader, writer)
+
+
+# -- parent router ----------------------------------------------------------
+
+
+class MultiprocServer:
+    """Shared listener + tenant-pinned worker fleet.
+
+    Lifecycle::
+
+        srv = MultiprocServer(config, procs=2)
+        port = srv.start()          # sync: bind + fork workers
+        await srv.serve()           # async: route until SHUTDOWN
+        srv.stop()                  # sync: drain + join workers
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        procs: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        linger: float = 0.0,
+    ):
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        self.config = config
+        self.procs = procs
+        self.host = host
+        self.port = port
+        self.linger = linger
+        self.listener: socket.socket | None = None
+        self.workers: list[multiprocessing.Process] = []
+        self.parent_socks: list[socket.socket] = []
+        self._tasks: set[asyncio.Task] = set()
+        self._stopped = False
+
+    def start(self) -> int:
+        """Bind the listener and fork the workers (call before any
+        event loop is running); returns the bound port."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self.listener = listener
+        self.port = listener.getsockname()[1]
+
+        ctx = multiprocessing.get_context("fork")
+        pairs = [
+            socket.socketpair(socket.AF_UNIX, socket.SOCK_DGRAM)
+            for _ in range(self.procs)
+        ]
+        for index, (parent_side, worker_side) in enumerate(pairs):
+            inherited = [listener] + [
+                sock
+                for other, pair in enumerate(pairs)
+                for sock in pair
+                if not (other == index and sock is pair[1])
+            ]
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(index, self.config, worker_side, inherited, self.linger),
+                daemon=True,
+            )
+            proc.start()
+            self.workers.append(proc)
+            self.parent_socks.append(parent_side)
+            worker_side.close()
+        return self.port
+
+    async def serve(self) -> None:
+        """Route accepted connections to pinned workers; returns once a
+        worker reports a client-requested SHUTDOWN (or :meth:`shutdown`
+        is called from another task)."""
+        if self.listener is None:
+            raise RuntimeError("start() must run before serve()")
+        loop = asyncio.get_running_loop()
+        self.listener.setblocking(False)
+        self._loop = loop
+        self._shutdown = asyncio.Event()
+
+        def _on_worker_signal(sock: socket.socket) -> None:
+            try:
+                data = sock.recv(16)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                data = b""
+            if not data or data[:1] == b"S":
+                self._shutdown.set()
+
+        for sock in self.parent_socks:
+            sock.setblocking(False)
+            loop.add_reader(sock.fileno(), _on_worker_signal, sock)
+        accept_task = asyncio.create_task(self._accept_loop(loop))
+        try:
+            await self._shutdown.wait()
+        finally:
+            accept_task.cancel()
+            for task in list(self._tasks):
+                task.cancel()
+            await asyncio.gather(
+                accept_task, *self._tasks, return_exceptions=True
+            )
+            for sock in self.parent_socks:
+                loop.remove_reader(sock.fileno())
+
+    def shutdown(self) -> None:
+        """Ask a running :meth:`serve` to return (thread-safe: usable
+        from outside the router's event loop)."""
+        loop = getattr(self, "_loop", None)
+        event = getattr(self, "_shutdown", None)
+        if loop is None or event is None:
+            return
+        if loop.is_running():
+            loop.call_soon_threadsafe(event.set)
+        else:
+            event.set()
+
+    async def _accept_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        while True:
+            conn, _addr = await loop.sock_accept(self.listener)
+            task = asyncio.create_task(self._route(loop, conn))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _route(
+        self, loop: asyncio.AbstractEventLoop, conn: socket.socket
+    ) -> None:
+        """Read the opener frame, pick the pinned worker, hand off the
+        descriptor plus every byte consumed so far."""
+        conn.setblocking(False)
+        buf = b""
+        try:
+            while b"\n" not in buf:
+                chunk = await loop.sock_recv(conn, 1 << 16)
+                if not chunk:
+                    conn.close()
+                    return
+                buf += chunk
+                if len(buf) > _OPENER_LIMIT:
+                    await self._refuse(
+                        loop, conn, "bad-frame", "opener frame too large"
+                    )
+                    return
+            line, _, _rest = buf.partition(b"\n")
+            try:
+                msg = wire.decode_message(line + b"\n")
+            except wire.FrameError as exc:
+                await self._refuse(loop, conn, exc.code, exc.detail)
+                return
+            if not isinstance(msg, (wire.Hello, wire.Resume)):
+                await self._refuse(
+                    loop, conn, "bad-request", "HELLO must open the session"
+                )
+                return
+            worker = pin_worker(msg.tenant, self.procs)
+            socket.send_fds(
+                self.parent_socks[worker], [b"C" + buf], [conn.fileno()]
+            )
+            conn.close()  # the worker holds its own duplicate now
+        except (ConnectionResetError, OSError):
+            conn.close()
+
+    async def _refuse(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        conn: socket.socket,
+        code: str,
+        detail: str,
+    ) -> None:
+        try:
+            await loop.sock_sendall(
+                conn,
+                wire.encode_message(wire.Refused(code=code, message=detail)),
+            )
+        except OSError:
+            pass
+        conn.close()
+
+    def stop(self) -> None:
+        """Sync teardown: quit + join every worker, close the listener."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for sock in self.parent_socks:
+            try:
+                sock.send(b"Q")
+            except OSError:
+                pass
+        for proc in self.workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for sock in self.parent_socks:
+            sock.close()
+        if self.listener is not None:
+            self.listener.close()
+
+
+def run_multiproc(
+    config: ServeConfig,
+    procs: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    linger: float = 0.0,
+    on_ready=None,
+) -> None:
+    """Blocking multi-process serve entry point (the CLI path): fork
+    workers, route until a client requests SHUTDOWN, tear down.
+    ``on_ready(port)`` fires after the listener is bound."""
+    server = MultiprocServer(config, procs, host, port, linger=linger)
+    bound = server.start()
+    if on_ready is not None:
+        on_ready(bound)
+    try:
+        asyncio.run(server.serve())
+    finally:
+        server.stop()

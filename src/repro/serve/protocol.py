@@ -8,6 +8,11 @@ typed :class:`FrameError` codes):
 
 Client -> server
     ``HELLO``     open a session (``tenant``, optional ``machine`` slot)
+    ``RESUME``    open (or re-open) a session bound to an idempotency
+                  scope ``(tenant, token)``: outcomes of executed
+                  requests are retained server-side and duplicate
+                  submits are answered from retention, so a
+                  reconnecting client can resend safely
     ``STEP``      one memory-step request (``id``, ``op``, ``variables``,
                   ``values``/``is_write`` where applicable)
     ``STATS``     server counters + per-machine state digests
@@ -53,6 +58,7 @@ __all__ = [
     "Message",
     "Refused",
     "Result",
+    "Resume",
     "Shutdown",
     "ShutdownOk",
     "Stats",
@@ -61,10 +67,27 @@ __all__ = [
     "Welcome",
     "decode_message",
     "encode_message",
+    "frame_limit",
 ]
 
 #: Version stamp carried by every frame; bump on incompatible changes.
 WIRE_FORMAT = "repro.serve/1"
+
+
+def frame_limit(n: int) -> int:
+    """Stream-reader byte limit for a server/client speaking to a
+    scheme with ``n`` processors.
+
+    The largest legal frame is a full-width mixed STEP (or its RESULT):
+    ``n`` distinct variables with 64-bit signed values and per-entry
+    ``is_write`` flags.  Per entry that is at most ~20 digits of value,
+    ~20 digits of variable id, ``true``/``false``, and JSON punctuation
+    — comfortably under 96 bytes — plus a fixed envelope.  asyncio's
+    default 64 KiB limit overflows at roughly n >= 2000, killing the
+    connection with ``LimitOverrunError`` instead of a typed refusal;
+    both transports must pass this limit explicitly.
+    """
+    return max(1 << 16, 96 * int(n) + 4096)
 
 #: Canonical refusal codes a ``REFUSED`` frame may carry.
 REFUSAL_CODES = (
@@ -141,6 +164,20 @@ def _opt_int(data: dict, name: str) -> int | None:
     if data.get(name) is None:
         return None
     return _int(data, name)
+
+
+def _int_default(data: dict, name: str, default: int) -> int:
+    """Absent -> default (older peers omit the field); present but
+    wrong-typed is still a typed error."""
+    if name not in data or data[name] is None:
+        return default
+    return _int(data, name)
+
+
+def _bool_default(data: dict, name: str, default: bool) -> bool:
+    if name not in data or data[name] is None:
+        return default
+    return _bool(data, name)
 
 
 def _int_tuple(data: dict, name: str) -> tuple[int, ...]:
@@ -221,15 +258,43 @@ class Hello(Message):
 
 
 @dataclass(frozen=True)
+class Resume(Message):
+    """Open a session bound to the idempotency scope ``(tenant,
+    token)``.  The server retains executed outcomes under that scope
+    (bounded by its retention budget) and answers duplicate STEP ids
+    from retention, so a reconnecting client resends its
+    unacknowledged requests and receives each outcome exactly once.
+    A RESUME for a scope that never existed simply creates it."""
+
+    TYPE: ClassVar[str] = "RESUME"
+    tenant: str
+    token: str
+    machine: int | None = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Resume":
+        return cls(
+            tenant=_str(data, "tenant"),
+            token=_str(data, "token"),
+            machine=_opt_int(data, "machine"),
+        )
+
+
+@dataclass(frozen=True)
 class Welcome(Message):
     """Session granted: the assigned machine's scheme shape and the
-    session's admission limits (``inflight_max``, ``window_max``)."""
+    session's admission limits (``inflight_max``, ``window_max``).
+    ``resumed`` is True when a RESUME re-attached an existing
+    idempotency scope; ``retained`` counts the outcomes currently held
+    for it (duplicate submits of those ids replay instantly)."""
 
     TYPE: ClassVar[str] = "WELCOME"
     session: str
     machine: int
     scheme: dict
     limits: dict
+    resumed: bool = False
+    retained: int = 0
 
     @classmethod
     def from_dict(cls, data: dict) -> "Welcome":
@@ -238,6 +303,8 @@ class Welcome(Message):
             machine=_int(data, "machine"),
             scheme=_dict(data, "scheme"),
             limits=_dict(data, "limits"),
+            resumed=_bool_default(data, "resumed", False),
+            retained=_int_default(data, "retained", 0),
         )
 
 
@@ -415,6 +482,7 @@ MESSAGE_TYPES: dict[str, type[Message]] = {
     cls.TYPE: cls
     for cls in (
         Hello,
+        Resume,
         Welcome,
         Step,
         Result,

@@ -16,13 +16,20 @@ so other tenants keep flowing.
 
 Batching-window semantics
 -------------------------
-Requests admitted to a machine queue in arrival order.  A flush takes up
-to ``window_max`` of them and greedily packs consecutive requests with
-*disjoint variable sets* into one coalesced ``mixed`` step (a request
-whose variables overlap the step under construction closes it and starts
-the next — arrival order is never reordered).  The whole window executes
-as ONE ``run_steps`` call against the machine's warm cached scheme, with
-timestamps continuing across batches, so:
+Requests admitted to a machine queue in per-session FIFOs.  A flush
+takes up to ``window_max`` of them by *deficit round-robin* over the
+sessions with pending work (see :meth:`ServerCore._take_window`): each
+session in the service ring earns a quantum of processor slots per
+round and spends it on its oldest requests, so one flooding tenant
+cannot starve the others — every pending session gets a bounded share
+of every window while its own requests never reorder.  The chosen
+order is exactly the order requests enter the machine's ledger, so
+replay certification remains byte-identical under the scheduler.  The
+taken window is then greedily packed into coalesced ``mixed`` steps
+with *disjoint variable sets* (a request whose variables overlap the
+step under construction closes it and starts the next).  The whole
+window executes as ONE ``run_steps`` call against the machine's warm
+cached scheme, with timestamps continuing across batches, so:
 
 * requests coalesced into the same step are *concurrent* — one PRAM
   step serves them all, reads see pre-step values (read-compute-write);
@@ -42,7 +49,7 @@ import hashlib
 import json
 import traceback
 import zlib
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,6 +67,7 @@ __all__ = [
     "LedgerStep",
     "ServeConfig",
     "ServeHandle",
+    "ServeTransport",
     "ServerCore",
     "start_server",
 ]
@@ -88,6 +96,15 @@ class ServeConfig:
     inflight_max: int = 32
     server_budget: int = 1024
     max_sessions: int = 64
+    #: Retained outcomes per idempotency scope (RESUME sessions); the
+    #: oldest outcome is evicted past this, after which its duplicate
+    #: would execute again — size it to cover a client's inflight_max.
+    retain_max: int = 256
+    #: Deficit-round-robin quantum (processor slots earned per pending
+    #: session per scheduler round).  None = ``max(1, n // window_max)``
+    #: — one window slot's worth, so a full round over window_max
+    #: sessions fills about one coalesced step.
+    drr_quantum: int | None = None
     failed_nodes: tuple[int, ...] = ()
     failed_processors: tuple[int, ...] = ()
     fault_schedule: tuple[FaultEvent, ...] = ()
@@ -102,8 +119,19 @@ class ServeConfig:
             raise ValueError("window_max must be >= 1")
         if self.inflight_max < 1:
             raise ValueError("inflight_max must be >= 1")
+        if self.retain_max < 1:
+            raise ValueError("retain_max must be >= 1")
+        if self.drr_quantum is not None and self.drr_quantum < 1:
+            raise ValueError("drr_quantum must be >= 1")
         if self.engine not in ("cycle", "model"):
             raise ValueError(f"engine must be 'cycle' or 'model', got {self.engine!r}")
+
+    @property
+    def quantum(self) -> int:
+        """The effective deficit-round-robin quantum."""
+        if self.drr_quantum is not None:
+            return self.drr_quantum
+        return max(1, self.n // self.window_max)
 
     @property
     def has_faults(self) -> bool:
@@ -162,8 +190,46 @@ class _Pending:
     is_write: np.ndarray
 
 
+class _ResumeScope:
+    """Server-side idempotency state for one ``(tenant, token)`` pair.
+
+    ``outcomes`` retains the reply of every executed request id
+    (bounded: FIFO eviction past ``retain_max``), ``inflight_ids``
+    tracks ids admitted but not yet executed, so a duplicate submit is
+    either answered from retention, refused as still-in-flight, or —
+    for a genuinely new id — admitted normally.  The scope outlives the
+    sessions bound to it: outcomes of requests left pending at a
+    disconnect are still retained when they execute, which is what
+    makes reconnect-and-resend exactly-once.
+    """
+
+    def __init__(self, key: tuple[str, str], retain_max: int):
+        self.key = key
+        self.retain_max = retain_max
+        self.outcomes: OrderedDict[int, wire.Message] = OrderedDict()
+        self.inflight_ids: set[int] = set()
+        self.evictions = 0
+        self.sid: str | None = None  # currently attached session
+
+    def retain(self, request_id: int, msg: wire.Message) -> int:
+        """Record one executed outcome; returns evictions this caused."""
+        self.inflight_ids.discard(request_id)
+        self.outcomes[request_id] = msg
+        evicted = 0
+        while len(self.outcomes) > self.retain_max:
+            self.outcomes.popitem(last=False)
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
+
 class _Machine:
-    """One warm pool slot: cached scheme + protocol + execution ledger."""
+    """One warm pool slot: cached scheme + protocol + execution ledger.
+
+    Pending work is kept as one FIFO per session plus a service ring
+    (the deficit-round-robin state); ``pending_count`` is the O(1)
+    aggregate the admission path reads instead of recomputing.
+    """
 
     def __init__(self, index: int, config: ServeConfig):
         self.index = index
@@ -175,12 +241,18 @@ class _Machine:
             self.scheme, engine=config.engine, faults=self.faults,
             kernels=config.kernels,
         )
-        self.pending: deque[_Pending] = deque()
+        #: per-session FIFO queues; a sid is in ``ring`` iff its queue
+        #: is non-empty (the deficit-round-robin invariant).
+        self.queues: dict[str, deque[_Pending]] = {}
+        self.ring: deque[str] = deque()
+        self.deficits: dict[str, int] = {}
+        self.pending_count = 0
         self.ledger: list[LedgerStep] = []
         self.outcomes: list[_Outcome] = []
         self.next_timestamp = 1
         self.batches = 0
         self.requests = 0
+        self.mesh_steps = 0.0
 
     @property
     def steps_executed(self) -> int:
@@ -228,7 +300,10 @@ class ServerCore:
         )
         self.machines = [_Machine(i, config) for i in range(config.pool)]
         self.sessions: dict[str, Session] = {}
+        self.scopes: dict[tuple[str, str], _ResumeScope] = {}
         self.counters: dict[str, int] = {}
+        self.pending_total = 0  # O(1) mirror of every machine's queues
+        self.proc = 0  # worker index under multi-process serving
         self.stopping = False
         self._next_sid = 0
 
@@ -250,12 +325,41 @@ class ServerCore:
     # -- session lifecycle -------------------------------------------------
 
     def hello(self, msg: wire.Hello) -> tuple[wire.Message, Session | None]:
+        return self._open_session(msg.tenant, msg.machine, scope=None)
+
+    def resume(self, msg: wire.Resume) -> tuple[wire.Message, Session | None]:
+        """HELLO bound to an idempotency scope.  An unknown ``(tenant,
+        token)`` pair creates the scope; a known one re-attaches it —
+        superseding any session still bound to it (the reconnecting
+        client wins, exactly-once is the scope's job, not the old
+        connection's)."""
+        key = (msg.tenant, msg.token)
+        scope = self.scopes.get(key)
+        resumed = scope is not None
+        if scope is None:
+            scope = _ResumeScope(key, self.config.retain_max)
+        reply, session = self._open_session(msg.tenant, msg.machine, scope=scope)
+        if session is None:
+            return reply, None
+        self.scopes[key] = scope
+        if resumed:
+            self._count("serve.sessions_resumed")
+            stale = self.sessions.get(scope.sid or "")
+            if stale is not None and not stale.closed:
+                self.bye(stale.sid)
+        scope.sid = session.sid
+        return reply, session
+
+    def _open_session(
+        self, tenant: str, machine: int | None, scope: _ResumeScope | None
+    ) -> tuple[wire.Message, Session | None]:
         if self.stopping:
             return (
                 wire.Refused(code="shutting-down", message="server is stopping"),
                 None,
             )
-        if len(self.sessions) >= self.config.max_sessions:
+        open_sessions = sum(1 for s in self.sessions.values() if not s.closed)
+        if open_sessions >= self.config.max_sessions:
             self._count("serve.rejected_sessions")
             return (
                 wire.Refused(
@@ -264,28 +368,27 @@ class ServerCore:
                 ),
                 None,
             )
-        if msg.machine is not None and not (
-            0 <= msg.machine < self.config.pool
-        ):
+        if machine is not None and not (0 <= machine < self.config.pool):
             return (
                 wire.Refused(
                     code="bad-request",
-                    message=f"machine {msg.machine} not in pool of "
+                    message=f"machine {machine} not in pool of "
                     f"{self.config.pool}",
                 ),
                 None,
             )
         sid = f"s{self._next_sid}"
         self._next_sid += 1
-        machine = self.assign_machine(msg.tenant, msg.machine)
-        session = Session(sid, msg.tenant, machine, self.limits)
+        slot = self.assign_machine(tenant, machine)
+        session = Session(sid, tenant, slot, self.limits)
+        session.scope = scope
         self.sessions[sid] = session
         self._count("serve.sessions_opened")
-        params = self.machines[machine].scheme.params
+        params = self.machines[slot].scheme.params
         return (
             wire.Welcome(
                 session=sid,
-                machine=machine,
+                machine=slot,
                 scheme={
                     "n": params.n,
                     "alpha": params.alpha,
@@ -295,6 +398,8 @@ class ServerCore:
                     "num_variables": params.num_variables,
                 },
                 limits=self.limits.to_dict(),
+                resumed=scope is not None and scope.sid is not None,
+                retained=0 if scope is None else len(scope.outcomes),
             ),
             session,
         )
@@ -311,7 +416,9 @@ class ServerCore:
 
     def submit(self, sid: str, msg: wire.Step) -> wire.Refused | None:
         """Admit one request into its machine's window, or return the
-        typed admission refusal.  ``None`` means admitted."""
+        typed admission refusal.  ``None`` means admitted (or, for a
+        duplicate id in a resume scope, answered from retention into
+        the session outbox)."""
         session = self.sessions.get(sid)
         if session is None or session.closed:
             return wire.Refused(
@@ -324,6 +431,22 @@ class ServerCore:
             self._count(f"serve.session[{session.tenant}].rejected")
             return wire.Refused(code=code, message=message, id=msg.id)
 
+        scope = session.scope
+        if scope is not None:
+            retained = scope.outcomes.get(msg.id)
+            if retained is not None:
+                # Idempotent resend: the retained outcome, uncharged
+                # (no admission budget, no re-execution).
+                self._count("serve.resumed_replays")
+                self._count(f"serve.session[{session.tenant}].replays")
+                session.push(retained)
+                return None
+            if msg.id in scope.inflight_ids:
+                return _reject(
+                    "bad-request",
+                    f"request id {msg.id} is still in flight in resume "
+                    f"scope {scope.key[1]!r}",
+                )
         parsed = self._parse_step(session, msg)
         if isinstance(parsed, str):
             return _reject("bad-request", parsed)
@@ -333,17 +456,24 @@ class ServerCore:
                 f"session inflight budget {session.limits.inflight_max} "
                 "exhausted (consume results first)",
             )
-        total_pending = sum(len(m.pending) for m in self.machines)
-        if total_pending >= self.config.server_budget:
+        if self.pending_total >= self.config.server_budget:
             return _reject(
                 "server-full",
                 f"server admission budget {self.config.server_budget} exhausted",
             )
         variables, values, is_write = parsed
         session.admit(msg.id)
-        self.machines[session.machine].pending.append(
-            _Pending(session, msg.id, variables, values, is_write)
-        )
+        if scope is not None:
+            scope.inflight_ids.add(msg.id)
+        machine = self.machines[session.machine]
+        queue = machine.queues.get(sid)
+        if queue is None:
+            queue = machine.queues[sid] = deque()
+        if not queue:
+            machine.ring.append(sid)  # enters the DRR service rotation
+        queue.append(_Pending(session, msg.id, variables, values, is_write))
+        machine.pending_count += 1
+        self.pending_total += 1
         self._count("serve.requests")
         self._count(f"serve.session[{session.tenant}].requests")
         return None
@@ -393,7 +523,14 @@ class ServerCore:
     # -- the batching window -----------------------------------------------
 
     def has_pending(self) -> bool:
-        return any(m.pending for m in self.machines)
+        return self.pending_total > 0
+
+    def recount_pending(self) -> int:
+        """Recompute the pending total from first principles (tests
+        assert it never drifts from the O(1) counter)."""
+        return sum(
+            len(queue) for m in self.machines for queue in m.queues.values()
+        )
 
     def flush(self) -> list[tuple[Session, wire.Message]]:
         """Execute one batching window on every machine with pending
@@ -401,9 +538,92 @@ class ServerCore:
         returned ``(session, message)`` for the transport to dispatch."""
         routed: list[tuple[Session, wire.Message]] = []
         for machine in self.machines:
-            if machine.pending:
+            if machine.pending_count:
                 routed.extend(self._flush_machine(machine))
         return routed
+
+    def _take_window(self, machine: _Machine) -> list[_Pending]:
+        """Deficit round-robin over the machine's pending sessions.
+
+        Each round, the session at the head of the service ring earns
+        ``config.quantum`` processor slots of deficit and spends it on
+        its oldest requests (cost = variable count, the slots the
+        request occupies in a coalesced step); it then leaves the ring
+        (drained — deficit forfeited, standard DRR no-banking) or
+        rotates to the tail.  Rounds repeat until the window holds
+        ``window_max`` requests or nothing is pending.  Deterministic
+        in the core's call sequence: the ring orders sessions by when
+        they last became pending, and per-session FIFO order is
+        preserved by construction.  The order chosen here is the order
+        requests enter the ledger, so certification replays it
+        byte-identically.
+        """
+        quantum = self.config.quantum
+        budget = self.config.window_max
+        take: list[_Pending] = []
+        while machine.ring and len(take) < budget:
+            sid = machine.ring[0]
+            queue = machine.queues[sid]
+            # Earned deficit is capped at one full step's worth of
+            # slots: a session stalled by full windows may not bank an
+            # unbounded burst.
+            machine.deficits[sid] = min(
+                machine.deficits.get(sid, 0) + quantum,
+                max(quantum, self.config.n),
+            )
+            while (
+                queue
+                and len(take) < budget
+                and len(queue[0].variables) <= machine.deficits[sid]
+            ):
+                req = queue.popleft()
+                machine.deficits[sid] -= len(req.variables)
+                take.append(req)
+                machine.pending_count -= 1
+                self.pending_total -= 1
+            if len(take) >= budget and queue:
+                # Window full mid-service: the session keeps its head
+                # slot and remaining deficit for the next window.
+                break
+            if not queue:
+                machine.ring.popleft()
+                machine.deficits.pop(sid, None)
+            else:
+                machine.ring.rotate(-1)
+        return take
+
+    def refuse_all_pending(self, detail: str) -> list[Session]:
+        """Drain every queue into typed internal-error refusals (the
+        transport's last-resort recovery from a flush failure); returns
+        the sessions that received one, for waking."""
+        touched: list[Session] = []
+        for machine in self.machines:
+            while machine.ring:
+                sid = machine.ring.popleft()
+                machine.deficits.pop(sid, None)
+                queue = machine.queues[sid]
+                while queue:
+                    req = queue.popleft()
+                    machine.pending_count -= 1
+                    self.pending_total -= 1
+                    req.session.refused += 1
+                    reply = wire.Refused(
+                        code="internal-error", message=detail, id=req.request_id
+                    )
+                    self._deliver(req.session, reply, req.request_id)
+                    touched.append(req.session)
+        return touched
+
+    def _deliver(
+        self, session: Session, reply: wire.Message, request_id: int
+    ) -> None:
+        """Push one charged outcome, retaining it in the session's
+        resume scope (bounded) when there is one."""
+        session.push(reply, request_id=request_id, charged=True)
+        if session.scope is not None:
+            evicted = session.scope.retain(request_id, reply)
+            if evicted:
+                self._count("serve.retained_evictions", evicted)
 
     def _coalesce(
         self, take: list[_Pending]
@@ -458,10 +678,7 @@ class ServerCore:
         self, machine: _Machine
     ) -> list[tuple[Session, wire.Message]]:
         tracer = _obs.current()
-        take = [
-            machine.pending.popleft()
-            for _ in range(min(self.config.window_max, len(machine.pending)))
-        ]
+        take = self._take_window(machine)
         steps = self._coalesce(take)
         batch_id = machine.batches
         machine.batches += 1
@@ -502,7 +719,7 @@ class ServerCore:
                         message=result.message,
                         id=request_id,
                     )
-                    session.push(reply, request_id=request_id, charged=True)
+                    self._deliver(session, reply, request_id)
                     routed.append((session, reply))
                     tenant_requests[session.tenant] = (
                         tenant_requests.get(session.tenant, 0) + 1
@@ -514,6 +731,7 @@ class ServerCore:
                 _Outcome(refused=None, report=report, values=values)
             )
             mesh_steps_total += float(result.total_steps)
+            machine.mesh_steps += float(result.total_steps)
             self._count("serve.merged_steps")
             # The origin token came back through run_steps (not from the
             # local `step` object): coalesced results stay attributable.
@@ -528,7 +746,7 @@ class ServerCore:
                     mesh_steps=float(result.total_steps),
                     reassigned=len(result.reassignments),
                 )
-                session.push(reply, request_id=request_id, charged=True)
+                self._deliver(session, reply, request_id)
                 routed.append((session, reply))
                 self._count(f"serve.session[{session.tenant}].results")
                 tenant_requests[session.tenant] = (
@@ -562,17 +780,28 @@ class ServerCore:
         machines = tuple(
             {
                 "machine": m.index,
+                "proc": self.proc,
                 "batches": m.batches,
                 "requests": m.requests,
                 "steps": m.steps_executed,
-                "pending": len(m.pending),
+                "pending": m.pending_count,
+                "mesh_steps": m.mesh_steps,
                 "degraded": m.faults is not None,
                 "state_digest": m.state_digest(),
                 "value_digest": m.value_digest(),
             }
             for m in self.machines
         )
-        return wire.StatsOk(counters=dict(self.counters), machines=machines)
+        counters = dict(self.counters)
+        underflows = sum(s.underflows for s in self.sessions.values())
+        if underflows:
+            counters["serve.inflight_underflow"] = underflows
+        if self.scopes:
+            counters["serve.resume_scopes"] = len(self.scopes)
+            counters["serve.retained_outcomes"] = sum(
+                len(s.outcomes) for s in self.scopes.values()
+            )
+        return wire.StatsOk(counters=counters, machines=machines)
 
     def certify(self) -> wire.Certified:
         """Differential check: replay every machine's coalesced-step
@@ -696,21 +925,235 @@ class ServerCore:
 # -- asyncio front-end -----------------------------------------------------
 
 
+class ServeTransport:
+    """The reusable asyncio shell around one :class:`ServerCore`.
+
+    Owns the batching kick/flush machinery and the per-connection
+    protocol loop, but NOT the listener — :func:`start_server` plugs it
+    into ``asyncio.start_server``, while the multi-process workers
+    (:mod:`repro.serve.multiproc`) feed it sockets handed off by the
+    parent router.  ``limit`` is the stream-reader byte limit derived
+    from ``config.n`` (:func:`repro.serve.protocol.frame_limit`): a
+    legal full-width STEP frame must survive the transport, and an
+    over-limit frame becomes a typed ``bad-frame`` refusal instead of a
+    raw ``LimitOverrunError`` killing the connection.
+    """
+
+    def __init__(self, core: ServerCore, *, linger: float = 0.0):
+        self.core = core
+        self.linger = linger
+        self.limit = wire.frame_limit(core.config.n)
+        self.flush_lock = asyncio.Lock()
+        self.kick = asyncio.Event()
+        self.stop_event = asyncio.Event()
+        self.wakes: dict[str, asyncio.Event] = {}
+        self.tasks: set[asyncio.Task] = set()
+
+    def start_batcher(self) -> asyncio.Task:
+        task = asyncio.create_task(self._batcher())
+        self.tasks.add(task)
+        return task
+
+    async def stop(self) -> None:
+        self.core.stopping = True
+        self.stop_event.set()
+        for task in list(self.tasks):
+            task.cancel()
+        await asyncio.gather(*self.tasks, return_exceptions=True)
+
+    # -- batching ----------------------------------------------------------
+
+    def _wake(self, session: Session) -> None:
+        event = self.wakes.get(session.sid)
+        if event is not None:
+            event.set()
+
+    async def _flush_all(self) -> None:
+        async with self.flush_lock:
+            while self.core.has_pending():
+                for session, _msg in self.core.flush():
+                    self._wake(session)
+
+    async def _batcher(self) -> None:
+        while True:
+            await self.kick.wait()
+            self.kick.clear()
+            if self.linger:
+                await asyncio.sleep(self.linger)
+            else:
+                # One scheduling round so frames already queued on other
+                # connections land in the same window.
+                await asyncio.sleep(0)
+            async with self.flush_lock:
+                try:
+                    for session, _msg in self.core.flush():
+                        self._wake(session)
+                except Exception as exc:  # noqa: BLE001 - must not die
+                    traceback.print_exc()
+                    # Last-resort recovery: every pending rider gets a
+                    # typed internal-error refusal instead of a hung
+                    # connection, and the server keeps serving.
+                    for session in self.core.refuse_all_pending(
+                        f"batch window failed: {exc}"
+                    ):
+                        self._wake(session)
+            if self.core.has_pending():
+                self.kick.set()
+
+    # -- per-connection protocol loop --------------------------------------
+
+    async def _writer_loop(
+        self, session: Session, writer: asyncio.StreamWriter, wake: asyncio.Event
+    ) -> None:
+        while True:
+            msg = session.pop()
+            if msg is None:
+                wake.clear()
+                await wake.wait()
+                continue
+            writer.write(wire.encode_message(msg))
+            await writer.drain()
+
+    async def _drained(self, session: Session) -> None:
+        while session.outbox_size:
+            await asyncio.sleep(0)
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        core = self.core
+        session: Session | None = None
+        wake: asyncio.Event | None = None
+        writer_task: asyncio.Task | None = None
+
+        async def _direct(msg: wire.Message) -> None:
+            writer.write(wire.encode_message(msg))
+            await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The frame overran the stream limit.  The buffer
+                    # is no longer line-synchronized, so answer with a
+                    # typed refusal and close — never a raw exception
+                    # tearing the connection down silently.
+                    reply = wire.Refused(
+                        code="bad-frame",
+                        message=f"frame exceeds the {self.limit}-byte "
+                        f"limit derived from n={core.config.n}",
+                    )
+                    if session is None:
+                        await _direct(reply)
+                    else:
+                        session.push(reply)
+                        wake.set()
+                        await self._drained(session)
+                    break
+                if not line:
+                    break
+                try:
+                    msg = wire.decode_message(line)
+                except wire.FrameError as exc:
+                    reply = wire.Refused(code=exc.code, message=exc.detail)
+                    if session is None:
+                        await _direct(reply)
+                    else:
+                        session.push(reply)
+                        wake.set()
+                    continue
+                if session is None:
+                    if isinstance(msg, (wire.Hello, wire.Resume)):
+                        if isinstance(msg, wire.Resume):
+                            reply, session = core.resume(msg)
+                        else:
+                            reply, session = core.hello(msg)
+                        await _direct(reply)
+                        if session is not None:
+                            wake = asyncio.Event()
+                            self.wakes[session.sid] = wake
+                            writer_task = asyncio.create_task(
+                                self._writer_loop(session, writer, wake)
+                            )
+                    else:
+                        await _direct(
+                            wire.Refused(
+                                code="bad-request",
+                                message="HELLO must open the session",
+                            )
+                        )
+                    continue
+                if isinstance(msg, wire.Step):
+                    refusal = core.submit(session.sid, msg)
+                    if refusal is not None:
+                        session.push(refusal)
+                    if session.outbox_size:
+                        # Admission refusals and retained-outcome
+                        # replays land directly in the outbox.
+                        wake.set()
+                    if refusal is None:
+                        self.kick.set()
+                elif isinstance(msg, wire.Stats):
+                    await self._flush_all()
+                    session.push(core.stats())
+                    wake.set()
+                elif isinstance(msg, wire.Certify):
+                    await self._flush_all()
+                    session.push(core.certify())
+                    wake.set()
+                elif isinstance(msg, wire.Bye):
+                    await self._flush_all()
+                    session.push(core.bye(session.sid))
+                    wake.set()
+                    await self._drained(session)
+                    break
+                elif isinstance(msg, wire.Shutdown):
+                    await self._flush_all()
+                    session.push(core.shutdown())
+                    wake.set()
+                    await self._drained(session)
+                    self.stop_event.set()
+                    break
+                else:
+                    session.push(
+                        wire.Refused(
+                            code="bad-request",
+                            message=f"unexpected {msg.TYPE} inside a session",
+                        )
+                    )
+                    wake.set()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if writer_task is not None:
+                writer_task.cancel()
+            if session is not None:
+                self.wakes.pop(session.sid, None)
+                if not session.closed:
+                    core.bye(session.sid)
+            writer.close()
+
+
 @dataclass
 class ServeHandle:
     """A running server: its core, listening port, and stop control."""
 
     core: ServerCore
     server: asyncio.AbstractServer
-    stop_event: asyncio.Event
+    transport: ServeTransport
     port: int = 0  # captured at boot; survives the listener closing
     tasks: set = field(default_factory=set)
 
+    @property
+    def stop_event(self) -> asyncio.Event:
+        return self.transport.stop_event
+
     async def stop(self) -> None:
         self.core.stopping = True
-        self.stop_event.set()
         self.server.close()
         await self.server.wait_closed()
+        await self.transport.stop()
         for task in list(self.tasks):
             task.cancel()
         await asyncio.gather(*self.tasks, return_exceptions=True)
@@ -739,173 +1182,15 @@ async def start_server(
     frame already in flight, which keeps tests wall-clock-free).
     """
     core = ServerCore(config)
-    flush_lock = asyncio.Lock()
-    kick = asyncio.Event()
-    stop_event = asyncio.Event()
-    wakes: dict[str, asyncio.Event] = {}
-
-    def _wake(session: Session) -> None:
-        event = wakes.get(session.sid)
-        if event is not None:
-            event.set()
-
-    async def _flush_all() -> None:
-        async with flush_lock:
-            while core.has_pending():
-                for session, _msg in core.flush():
-                    _wake(session)
-
-    def _refuse_pending(detail: str) -> None:
-        """Last-resort recovery from an unexpected flush failure: every
-        pending rider gets a typed internal-error refusal instead of a
-        hung connection, and the server keeps serving."""
-        for machine in core.machines:
-            while machine.pending:
-                req = machine.pending.popleft()
-                req.session.refused += 1
-                req.session.push(
-                    wire.Refused(
-                        code="internal-error", message=detail, id=req.request_id
-                    ),
-                    request_id=req.request_id,
-                    charged=True,
-                )
-                _wake(req.session)
-
-    async def _batcher() -> None:
-        while True:
-            await kick.wait()
-            kick.clear()
-            if linger:
-                await asyncio.sleep(linger)
-            else:
-                # One scheduling round so frames already queued on other
-                # connections land in the same window.
-                await asyncio.sleep(0)
-            async with flush_lock:
-                try:
-                    for session, _msg in core.flush():
-                        _wake(session)
-                except Exception as exc:  # noqa: BLE001 - must not die
-                    traceback.print_exc()
-                    _refuse_pending(f"batch window failed: {exc}")
-            if core.has_pending():
-                kick.set()
-
-    async def _writer_loop(
-        session: Session, writer: asyncio.StreamWriter, wake: asyncio.Event
-    ) -> None:
-        while True:
-            msg = session.pop()
-            if msg is None:
-                wake.clear()
-                await wake.wait()
-                continue
-            writer.write(wire.encode_message(msg))
-            await writer.drain()
-
-    async def _drained(session: Session) -> None:
-        while session.outbox_size:
-            await asyncio.sleep(0)
-
-    async def _handle(
-        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        session: Session | None = None
-        wake: asyncio.Event | None = None
-        writer_task: asyncio.Task | None = None
-
-        async def _direct(msg: wire.Message) -> None:
-            writer.write(wire.encode_message(msg))
-            await writer.drain()
-
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                try:
-                    msg = wire.decode_message(line)
-                except wire.FrameError as exc:
-                    reply = wire.Refused(code=exc.code, message=exc.detail)
-                    if session is None:
-                        await _direct(reply)
-                    else:
-                        session.push(reply)
-                        wake.set()
-                    continue
-                if session is None:
-                    if isinstance(msg, wire.Hello):
-                        reply, session = core.hello(msg)
-                        await _direct(reply)
-                        if session is not None:
-                            wake = asyncio.Event()
-                            wakes[session.sid] = wake
-                            writer_task = asyncio.create_task(
-                                _writer_loop(session, writer, wake)
-                            )
-                    else:
-                        await _direct(
-                            wire.Refused(
-                                code="bad-request",
-                                message="HELLO must open the session",
-                            )
-                        )
-                    continue
-                if isinstance(msg, wire.Step):
-                    refusal = core.submit(session.sid, msg)
-                    if refusal is not None:
-                        session.push(refusal)
-                        wake.set()
-                    else:
-                        kick.set()
-                elif isinstance(msg, wire.Stats):
-                    await _flush_all()
-                    session.push(core.stats())
-                    wake.set()
-                elif isinstance(msg, wire.Certify):
-                    await _flush_all()
-                    session.push(core.certify())
-                    wake.set()
-                elif isinstance(msg, wire.Bye):
-                    await _flush_all()
-                    session.push(core.bye(session.sid))
-                    wake.set()
-                    await _drained(session)
-                    break
-                elif isinstance(msg, wire.Shutdown):
-                    await _flush_all()
-                    session.push(core.shutdown())
-                    wake.set()
-                    await _drained(session)
-                    stop_event.set()
-                    break
-                else:
-                    session.push(
-                        wire.Refused(
-                            code="bad-request",
-                            message=f"unexpected {msg.TYPE} inside a session",
-                        )
-                    )
-                    wake.set()
-        except (ConnectionResetError, asyncio.IncompleteReadError):
-            pass
-        finally:
-            if writer_task is not None:
-                writer_task.cancel()
-            if session is not None:
-                wakes.pop(session.sid, None)
-                if not session.closed:
-                    core.bye(session.sid)
-            writer.close()
-
-    server = await asyncio.start_server(_handle, host, port)
+    transport = ServeTransport(core, linger=linger)
+    server = await asyncio.start_server(
+        transport.handle_connection, host, port, limit=transport.limit
+    )
     handle = ServeHandle(
         core=core,
         server=server,
-        stop_event=stop_event,
+        transport=transport,
         port=server.sockets[0].getsockname()[1],
     )
-    batcher_task = asyncio.create_task(_batcher())
-    handle.tasks.add(batcher_task)
+    transport.start_batcher()
     return handle

@@ -13,12 +13,23 @@ blocks on it — while other tenants keep flowing.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs import tracer as _obs
 from repro.serve.protocol import Message
 
 __all__ = ["Session", "SessionLimits"]
+
+
+def _strict_accounting() -> bool:
+    """Fail loudly on ledger underflow under tests (or when explicitly
+    requested); production servers count it and self-heal instead."""
+    return bool(
+        os.environ.get("PYTEST_CURRENT_TEST")
+        or os.environ.get("REPRO_STRICT_ACCOUNTING")
+    )
 
 
 @dataclass(frozen=True)
@@ -69,7 +80,11 @@ class Session:
         self.delivered = 0
         self.refused = 0
         self.rejected = 0  # admission refusals (never reached a batch)
+        self.underflows = 0  # double-release accounting bugs (see pop)
         self.closed = False
+        #: Idempotency scope (``server._ResumeScope``) when the session
+        #: was opened via RESUME; None for plain HELLO sessions.
+        self.scope = None
 
     # -- admission ---------------------------------------------------------
 
@@ -104,12 +119,30 @@ class Session:
 
     def pop(self) -> Message | None:
         """Consume one queued message (releases its budget if charged);
-        the asyncio writer's transport primitive."""
+        the asyncio writer's transport primitive.
+
+        A charged pop with ``inflight == 0`` is a double-release: some
+        path freed admission budget it never charged.  Silently
+        clamping (the old ``max(0, ...)``) masked exactly that class of
+        bug, so underflow now increments the session-local
+        ``underflows`` ledger and the ``serve.inflight_underflow`` obs
+        counter, and raises under tests; outside tests the counter is
+        the alarm and the ledger self-heals at zero.
+        """
         if not self._outbox:
             return None
         msg, charged = self._outbox.popleft()
         if charged:
-            self.inflight = max(0, self.inflight - 1)
+            if self.inflight <= 0:
+                self.underflows += 1
+                _obs.current().count("serve.inflight_underflow")
+                if _strict_accounting():
+                    raise AssertionError(
+                        f"session {self.sid!r}: charged pop with zero "
+                        "inflight budget (double release)"
+                    )
+            else:
+                self.inflight -= 1
         return msg
 
     def drain(self, count: int | None = None) -> list[Message]:
@@ -127,4 +160,5 @@ class Session:
             "refused": self.refused,
             "rejected": self.rejected,
             "inflight": self.inflight,
+            "underflows": self.underflows,
         }

@@ -1,0 +1,158 @@
+"""Property tests for the deficit-round-robin batching window.
+
+These drive :meth:`ServerCore._take_window` directly — the pure
+scheduler, no mesh execution — so hypothesis can sweep session counts,
+demands, window widths, and quanta cheaply.  Laws checked:
+
+* conservation — every admitted request is taken exactly once, windows
+  never exceed ``window_max`` requests;
+* per-session FIFO — a session's requests leave in submission order;
+* no starvation — with unit-cost requests and a window at least as
+  wide as the session count, every hungry session rides the very first
+  window;
+* bounded unfairness — sessions that stay hungry through the first
+  window receive shares within one quantum of each other;
+* the O(1) pending counter never drifts from the recomputed truth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol as wire
+from repro.serve.server import ServeConfig, ServerCore
+
+SMALL = dict(n=16, alpha=1.5, q=3, k=1)
+
+
+def _core(window_max: int, quantum: int | None) -> ServerCore:
+    return ServerCore(
+        ServeConfig(
+            **SMALL,
+            engine="model",
+            window_max=window_max,
+            inflight_max=64,
+            server_budget=4096,
+            drr_quantum=quantum,
+        )
+    )
+
+
+def _sessions(core: ServerCore, count: int):
+    out = []
+    for i in range(count):
+        reply, session = core.hello(wire.Hello(tenant=f"t{i}", machine=0))
+        assert session is not None, reply
+        out.append(session)
+    return out
+
+
+def _submit_unit(core, session, rid):
+    refusal = core.submit(
+        session.sid,
+        wire.Step(id=rid, op="read", variables=(rid % 100,)),
+    )
+    assert refusal is None, refusal
+
+
+def _take_all(core):
+    """Drain the scheduler into a list of windows, checking the pending
+    invariant after every take."""
+    machine = core.machines[0]
+    windows = []
+    guard = core.pending_total + 1
+    while machine.pending_count:
+        windows.append(core._take_window(machine))
+        assert core.pending_total == core.recount_pending()
+        assert len(windows) <= guard, "scheduler failed to make progress"
+    return windows
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    demands=st.lists(
+        st.integers(min_value=1, max_value=24), min_size=2, max_size=5
+    ),
+    window=st.integers(min_value=5, max_value=12),
+    quantum=st.none() | st.integers(min_value=1, max_value=16),
+)
+def test_unit_cost_windows_are_fair(demands, window, quantum):
+    core = _core(window, quantum)
+    sessions = _sessions(core, len(demands))
+    for i, (session, demand) in enumerate(zip(sessions, demands)):
+        for r in range(demand):
+            _submit_unit(core, session, r)
+    windows = _take_all(core)
+
+    # Conservation: every request exactly once, windows bounded.
+    assert sum(len(w) for w in windows) == sum(demands)
+    assert all(0 < len(w) <= window for w in windows)
+
+    # Per-session FIFO across the concatenated windows.
+    for session in sessions:
+        rids = [
+            p.request_id
+            for w in windows
+            for p in w
+            if p.session is session
+        ]
+        assert rids == sorted(rids)
+
+    first = windows[0]
+    shares = {
+        s.sid: sum(1 for p in first if p.session is s) for s in sessions
+    }
+    # No starvation: a session rides the first window whenever its
+    # ring predecessors cannot fill it — each predecessor's first
+    # visit takes at most min(quantum, its demand) slots.
+    q = core.config.quantum
+    for i, session in enumerate(sessions):
+        predecessors = sum(min(q, demands[j]) for j in range(i))
+        if predecessors < window:
+            assert shares[session.sid] >= 1, (shares, demands, window, q)
+
+    # Bounded unfairness among sessions hungry through the whole first
+    # window (demand exceeding the window can never be fully served).
+    hungry = [s for s, d in zip(sessions, demands) if d >= window]
+    if len(hungry) >= 2:
+        got = [shares[s.sid] for s in hungry]
+        assert max(got) - min(got) <= q, (shares, q)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=16), min_size=1, max_size=8
+        ),
+        min_size=2,
+        max_size=4,
+    ),
+    window=st.integers(min_value=2, max_value=10),
+    quantum=st.none() | st.integers(min_value=1, max_value=16),
+)
+def test_variable_cost_windows_conserve_and_stay_fifo(sizes, window, quantum):
+    """Multi-variable requests cost their slot count; the scheduler
+    must still conserve requests, respect FIFO, and terminate."""
+    core = _core(window, quantum)
+    sessions = _sessions(core, len(sizes))
+    num_vars = core.machines[0].scheme.num_variables
+    for session, requests in zip(sessions, sizes):
+        for rid, size in enumerate(requests):
+            variables = tuple(range(size))
+            assert size <= num_vars
+            refusal = core.submit(
+                session.sid,
+                wire.Step(id=rid, op="read", variables=variables),
+            )
+            assert refusal is None, refusal
+    windows = _take_all(core)
+    assert sum(len(w) for w in windows) == sum(len(r) for r in sizes)
+    for session in sessions:
+        rids = [
+            p.request_id
+            for w in windows
+            for p in w
+            if p.session is session
+        ]
+        assert rids == sorted(rids)
+    assert core.pending_total == 0

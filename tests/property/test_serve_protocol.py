@@ -42,6 +42,11 @@ MESSAGE_STRATEGIES: dict[str, st.SearchStrategy] = {
         machine=_ids,
         scheme=_json_dict,
         limits=_json_dict,
+        resumed=st.booleans(),
+        retained=_ids,
+    ),
+    "RESUME": st.builds(
+        wire.Resume, tenant=_text, token=_text, machine=st.none() | _ids
     ),
     "STEP": st.builds(
         wire.Step,
@@ -185,6 +190,7 @@ def test_missing_type_is_bad_frame():
 #: Fixed well-formed instances to poison one field at a time.
 _CANONICAL = {
     "HELLO": wire.Hello(tenant="t0", machine=1),
+    "RESUME": wire.Resume(tenant="t0", token="tok-1", machine=1),
     "STEP": wire.Step(
         id=3, op="mixed", variables=(1, 2), values=(5, 0),
         is_write=(True, False),
@@ -206,6 +212,11 @@ _CANONICAL = {
 _POISON = [
     ("HELLO", "tenant", [None, 3, ["x"]]),
     ("HELLO", "machine", ["0", 1.5, True]),
+    ("RESUME", "tenant", [None, 3, ["x"]]),
+    ("RESUME", "token", [None, 3]),
+    ("RESUME", "machine", ["0", 1.5, True]),
+    ("WELCOME", "resumed", [1, "true"]),
+    ("WELCOME", "retained", ["0", 1.5, True]),
     ("STEP", "id", [None, "4", 1.5, True]),
     ("STEP", "variables", [None, "xs", [1, "2"], [True], 3]),
     ("STEP", "values", ["xs", [0.5], [False]]),

@@ -1,0 +1,374 @@
+"""QoS layer of the service core: fair-share scheduling inside the
+batching window, session resumption / request idempotency, and the
+accounting invariants behind both.
+
+Everything here drives :class:`ServerCore` synchronously — no sockets,
+no event loop — so the deficit-round-robin window composition, the
+resume-scope retention ledger, and the O(1) pending counter are all
+asserted exactly.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.serve import protocol as wire
+from repro.serve.harness import ScriptedFleet
+from repro.serve.server import ServeConfig, ServerCore
+from repro.serve.session import Session, SessionLimits
+
+SMALL = dict(n=16, alpha=1.5, q=3, k=1)  # 117 variables, fast to build
+
+
+def _config(**kw) -> ServeConfig:
+    return ServeConfig(**{**SMALL, **kw})
+
+
+def _open(core, tenant="t0", machine=None):
+    reply, session = core.hello(wire.Hello(tenant=tenant, machine=machine))
+    assert isinstance(reply, wire.Welcome), reply
+    return session
+
+
+def _resume(core, tenant, token, machine=None):
+    reply, session = core.resume(
+        wire.Resume(tenant=tenant, token=token, machine=machine)
+    )
+    return reply, session
+
+
+def _submit(core, session, request_id, variables, values=None):
+    op = "read" if values is None else "write"
+    refusal = core.submit(
+        session.sid,
+        wire.Step(
+            id=request_id,
+            op=op,
+            variables=tuple(variables),
+            values=None if values is None else tuple(values),
+        ),
+    )
+    assert refusal is None, refusal
+    return refusal
+
+
+def _results(session):
+    """Drain the outbox; {request id: message} for request outcomes."""
+    return {
+        m.id: m
+        for m in session.drain()
+        if isinstance(m, (wire.Result, wire.Refused)) and m.id is not None
+    }
+
+
+# -- deficit-round-robin fairness ------------------------------------------
+
+
+def test_flooding_tenant_cannot_starve_tricklers():
+    """One tenant floods 2x window_max deep before two tricklers submit
+    anything; under strict-arrival take the first window would be 100%
+    flooder.  DRR must carry every trickle request in that first window
+    while the flooder keeps the leftover share."""
+    core = ServerCore(_config(window_max=8, inflight_max=32))
+    flood = _open(core, "flood", machine=0)
+    t1 = _open(core, "trickle-1", machine=0)
+    t2 = _open(core, "trickle-2", machine=0)
+    for rid in range(16):
+        _submit(core, flood, rid, [rid])
+    for rid in range(2):
+        _submit(core, t1, rid, [20 + rid])
+        _submit(core, t2, rid, [30 + rid])
+
+    core.flush()  # first window only
+    assert len(_results(t1)) == 2, "trickler 1 starved out of the window"
+    assert len(_results(t2)) == 2, "trickler 2 starved out of the window"
+    flood_first = _results(flood)
+    # window_max=8 minus 4 trickle slots: the flooder's share is bounded.
+    assert len(flood_first) == 4
+    # Per-session FIFO: the flooder's requests execute in submit order.
+    assert sorted(flood_first) == list(flood_first)
+    assert list(flood_first) == [0, 1, 2, 3]
+
+    while core.has_pending():
+        core.flush()
+    assert len(_results(flood)) == 12  # the rest, nothing lost
+    verdict = core.certify()
+    assert verdict.ok, verdict.message
+
+
+def test_drr_share_is_proportional_when_all_sessions_flood():
+    """Three equally-hungry sessions split every window ~equally (DRR
+    with equal quanta and unit-cost requests is round-robin)."""
+    core = ServerCore(_config(window_max=6, inflight_max=32))
+    sessions = [_open(core, f"t{i}", machine=0) for i in range(3)]
+    for i, session in enumerate(sessions):
+        for rid in range(8):
+            _submit(core, session, rid, [10 * i + rid])
+    core.flush()
+    shares = [len(_results(s)) for s in sessions]
+    assert shares == [2, 2, 2], shares
+
+
+def test_window_full_mid_service_keeps_head_slot_and_deficit():
+    """A session cut off by a full window resumes at the ring head next
+    window — its earned deficit is kept, not forfeited."""
+    core = ServerCore(_config(window_max=2, inflight_max=32, drr_quantum=16))
+    a = _open(core, "a", machine=0)
+    b = _open(core, "b", machine=0)
+    for rid in range(3):
+        _submit(core, a, rid, [rid])
+    _submit(core, b, 0, [10])
+    core.flush()
+    # Window 1 (size 2): a spends its quantum on requests 0 and 1.
+    assert list(_results(a)) == [0, 1]
+    assert _results(b) == {}
+    core.flush()
+    # Window 2: a still heads the ring, then b gets its turn.
+    assert list(_results(a)) == [2]
+    assert list(_results(b)) == [0]
+
+
+def test_big_requests_cost_their_variable_count():
+    """Cost is processor slots, not request count: a session sending
+    n-wide requests exhausts its deficit after one, so a 1-var session
+    interleaves 1:1 with it despite the size asymmetry."""
+    core = ServerCore(_config(window_max=4, inflight_max=32, drr_quantum=8))
+    wide = _open(core, "wide", machine=0)
+    thin = _open(core, "thin", machine=0)
+    for rid in range(2):
+        _submit(core, wide, rid, range(rid * 8, rid * 8 + 8))  # 8 slots
+        _submit(core, thin, rid, [100 + rid])  # 1 slot
+    core.flush()
+    # Round 1: wide earns 8, spends all on request 0; thin earns 8,
+    # spends 1 each on both its requests (FIFO within its turn), then
+    # wide's second 8-wide request lands in round 2.
+    assert len(_results(wide)) == 2
+    assert len(_results(thin)) == 2
+    verdict = core.certify()
+    assert verdict.ok, verdict.message
+
+
+def test_scripted_fleet_digest_is_stable_under_drr():
+    """Run-to-run determinism of the full transcript survives the
+    fair-share scheduler (tight quantum forces heavy interleaving)."""
+    cfg = _config(window_max=6, inflight_max=4, drr_quantum=1, pool=2)
+    runs = [
+        ScriptedFleet(cfg, clients=4, requests=6, batch=3, seed=13).run()
+        for _ in range(2)
+    ]
+    assert runs[0].transcript_digest == runs[1].transcript_digest
+    assert runs[0].certified, runs[0].certify_message
+    assert runs[0].delivered + runs[0].refused + runs[0].rejected == 4 * 6
+
+
+def test_replay_certification_under_drr_reordering():
+    """The ledger records the DRR-chosen order, so the sequential
+    replay is byte-identical even though execution order differs from
+    arrival order."""
+    cfg = _config(window_max=4, inflight_max=8, drr_quantum=2)
+    fleet = ScriptedFleet(cfg, clients=5, requests=8, batch=3, seed=3)
+    run = fleet.run()
+    assert run.certified, run.certify_message
+    assert run.delivered > 0
+
+
+# -- session resumption + idempotency --------------------------------------
+
+
+def test_resume_opens_scope_then_replays_retained_outcomes():
+    core = ServerCore(_config())
+    reply, session = _resume(core, "t0", "tok")
+    assert isinstance(reply, wire.Welcome)
+    assert reply.resumed is False and reply.retained == 0
+
+    _submit(core, session, 0, [1], values=[42])
+    core.flush()
+    first = _results(session)[0]
+    assert isinstance(first, wire.Result)
+
+    # Reconnect with the same token: the scope re-attaches.
+    reply2, session2 = _resume(core, "t0", "tok")
+    assert reply2.resumed is True and reply2.retained == 1
+    assert session2.sid != session.sid
+    assert core.sessions[session.sid].closed  # superseded
+
+    # Duplicate submit: answered from retention, byte-identical, not
+    # re-executed, uncharged.
+    refusal = core.submit(session2.sid, wire.Step(id=0, op="write", variables=(1,), values=(42,)))
+    assert refusal is None
+    assert not core.has_pending()  # nothing was admitted
+    assert session2.inflight == 0
+    replay = [m for m in session2.drain()][0]
+    assert replay == first
+    assert core.counters["serve.resumed_replays"] == 1
+
+
+def test_duplicate_id_while_inflight_is_rejected():
+    core = ServerCore(_config())
+    _reply, session = _resume(core, "t0", "tok")
+    _submit(core, session, 0, [1])
+    refusal = core.submit(
+        session.sid, wire.Step(id=0, op="read", variables=(1,))
+    )
+    assert refusal is not None and refusal.code == "bad-request"
+    assert "in flight" in refusal.message
+
+
+def test_outcome_pending_at_disconnect_is_retained_for_the_scope():
+    """A request admitted before the connection died executes into the
+    scope, so the reconnecting client still gets it exactly once."""
+    core = ServerCore(_config())
+    _reply, session = _resume(core, "t0", "tok")
+    _submit(core, session, 7, [3], values=[9])
+    core.bye(session.sid)  # connection gone, request still queued
+    core.flush()
+
+    reply2, session2 = _resume(core, "t0", "tok")
+    assert reply2.retained == 1
+    refusal = core.submit(
+        session2.sid,
+        wire.Step(id=7, op="write", variables=(3,), values=(9,)),
+    )
+    assert refusal is None
+    replay = [m for m in session2.drain()][0]
+    assert isinstance(replay, wire.Result) and replay.id == 7
+
+
+def test_retention_budget_evicts_fifo_and_counts():
+    core = ServerCore(_config(retain_max=2))
+    _reply, session = _resume(core, "t0", "tok")
+    for rid in range(3):
+        _submit(core, session, rid, [rid], values=[rid])
+    core.flush()
+    session.drain()
+    scope = session.scope
+    assert list(scope.outcomes) == [1, 2]  # request 0 evicted FIFO
+    assert core.counters["serve.retained_evictions"] == 1
+    # The evicted id goes through normal admission (re-executes).
+    refusal = core.submit(
+        session.sid, wire.Step(id=0, op="write", variables=(0,), values=(0,))
+    )
+    assert refusal is None
+    assert core.has_pending()
+
+
+def test_resumed_sessions_do_not_leak_the_session_limit():
+    """Reconnect loops must not exhaust max_sessions: only OPEN
+    sessions count against the cap."""
+    core = ServerCore(_config(max_sessions=2))
+    for _ in range(5):
+        reply, session = _resume(core, "t0", "tok")
+        assert isinstance(reply, wire.Welcome), reply
+        assert session is not None
+    # One other tenant still fits (the four superseded sessions are
+    # closed and free).
+    other = _open(core, "t1")
+    assert other is not None
+
+
+def test_stats_surface_scopes_and_proc():
+    core = ServerCore(_config())
+    _reply, session = _resume(core, "t0", "tok")
+    _submit(core, session, 0, [1], values=[5])
+    core.flush()
+    session.drain()
+    stats = core.stats()
+    assert stats.counters["serve.resume_scopes"] == 1
+    assert stats.counters["serve.retained_outcomes"] == 1
+    assert all(m["proc"] == 0 for m in stats.machines)
+    assert all(m["pending"] == 0 for m in stats.machines)
+
+
+# -- accounting invariants --------------------------------------------------
+
+
+def test_pending_counter_never_drifts():
+    """The O(1) ``pending_total`` tracks the recomputed ground truth
+    across every admit/flush/refuse path (including rejections, which
+    must not touch it)."""
+    core = ServerCore(_config(window_max=3, inflight_max=4, server_budget=12))
+    sessions = [_open(core, f"t{i}", machine=0) for i in range(3)]
+
+    def check():
+        assert core.pending_total == core.recount_pending()
+
+    check()
+    rid = 0
+    for session in sessions:
+        for _ in range(4):
+            _submit(core, session, rid, [rid % 40])
+            rid += 1
+            check()
+    # Over-budget rejection: must not move the counter.
+    refusal = core.submit(
+        sessions[0].sid, wire.Step(id=99, op="read", variables=(0,))
+    )
+    assert refusal is not None and refusal.code == "over-budget"
+    check()
+    # Bad-request rejection: same.
+    refusal = core.submit(
+        sessions[0].sid, wire.Step(id=98, op="read", variables=())
+    )
+    assert refusal is not None and refusal.code == "bad-request"
+    check()
+    core.flush()
+    check()
+    # Refuse-all (the transport's failure recovery) drains to zero.
+    touched = core.refuse_all_pending("synthetic failure")
+    assert touched, "expected pending requests to refuse"
+    check()
+    assert core.pending_total == 0
+    while core.has_pending():
+        core.flush()
+        check()
+
+
+def test_server_budget_uses_the_o1_counter():
+    core = ServerCore(_config(server_budget=2, inflight_max=8))
+    session = _open(core, "t0")
+    _submit(core, session, 0, [0])
+    _submit(core, session, 1, [1])
+    refusal = core.submit(
+        session.sid, wire.Step(id=2, op="read", variables=(2,))
+    )
+    assert refusal is not None and refusal.code == "server-full"
+
+
+def test_refuse_all_pending_delivers_typed_refusals():
+    core = ServerCore(_config())
+    session = _open(core, "t0")
+    _submit(core, session, 0, [0])
+    _submit(core, session, 1, [1])
+    touched = core.refuse_all_pending("window exploded")
+    assert [s.sid for s in touched] == [session.sid] * 2
+    outcomes = _results(session)
+    assert set(outcomes) == {0, 1}
+    assert all(
+        m.code == "internal-error" and "window exploded" in m.message
+        for m in outcomes.values()
+    )
+    # Refusals are charged: consuming them released the budget cleanly.
+    assert session.inflight == 0 and session.underflows == 0
+
+
+def test_charged_pop_underflow_fails_loudly_under_tests():
+    session = Session("s0", "t0", 0, SessionLimits())
+    session.push(
+        wire.Refused(code="bad-request", message="x"), charged=True
+    )  # never admitted: popping this is a double release
+    with pytest.raises(AssertionError, match="double release"):
+        session.pop()
+    assert session.underflows == 1
+
+
+def test_charged_pop_underflow_self_heals_in_production(monkeypatch):
+    monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+    monkeypatch.delenv("REPRO_STRICT_ACCOUNTING", raising=False)
+    session = Session("s0", "t0", 0, SessionLimits())
+    session.push(wire.Refused(code="bad-request", message="x"), charged=True)
+    with obs.capture() as tracer:
+        msg = session.pop()
+    assert msg is not None
+    assert session.inflight == 0  # clamped at zero, not negative
+    assert session.underflows == 1
+    assert tracer.counters["serve.inflight_underflow"] == 1
+    assert session.counters()["underflows"] == 1

@@ -1,0 +1,274 @@
+"""Scale-out transport: stream limits, resumption over sockets,
+multi-process serving, and the load generator.
+
+Like ``test_serve_async.py``, everything runs over real loopback
+sockets but asserts only interleaving-independent protocol outcomes.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import protocol as wire
+from repro.serve.client import ServeClient, run_fleet_async
+from repro.serve.loadgen import run_loadgen
+from repro.serve.multiproc import MultiprocServer, pin_worker
+from repro.serve.server import ServeConfig, start_server
+
+SMALL = dict(n=16, alpha=1.5, q=3, k=1)
+
+
+def _config(**kw) -> ServeConfig:
+    return ServeConfig(**{**SMALL, **kw})
+
+
+def _with_server(config, coro_fn):
+    async def _main():
+        handle = await start_server(config)
+        try:
+            return await coro_fn(handle)
+        finally:
+            await handle.stop()
+
+    return asyncio.run(_main())
+
+
+# -- stream limits (the 64 KiB readline regression) ------------------------
+
+
+def test_frame_limit_covers_the_largest_legal_frame():
+    """A full-width write (n variables, 64-bit values) must encode
+    under the derived limit for any plausible n."""
+    for n in (16, 64, 1024, 4096):
+        step = wire.Step(
+            id=2**31,
+            op="write",
+            variables=tuple(range(n)),
+            values=tuple((1 << 63) - 1 - i for i in range(n)),
+        )
+        assert len(wire.encode_message(step)) < wire.frame_limit(n)
+    assert wire.frame_limit(16) >= 1 << 16  # never below the old default
+
+
+def test_full_width_step_survives_the_socket():
+    """Regression: n=4096 makes the legal max-size frame ~100 KiB,
+    past asyncio's 64 KiB default readline limit — both transport ends
+    must carry it without a LimitOverrunError."""
+    config = ServeConfig(n=4096, alpha=1.2, q=3, k=1, engine="model")
+    n = config.n
+    step = wire.Step(
+        id=0,
+        op="write",
+        variables=tuple(range(n)),
+        values=tuple((1 << 62) + i for i in range(n)),
+    )
+    assert len(wire.encode_message(step)) > (1 << 16)
+
+    async def _drive(handle):
+        client = await ServeClient.connect(
+            "127.0.0.1", handle.port, "wide", limit=wire.frame_limit(n)
+        )
+        try:
+            await client.send(step)
+            outcome = await client.recv_outcome()
+            assert isinstance(outcome, wire.Result), outcome
+            assert len(outcome.values) == n
+            # Read the width back so the reply direction is exercised
+            # at full width too.
+            await client.send(
+                wire.Step(id=1, op="read", variables=tuple(range(n)))
+            )
+            readback = await client.recv_outcome()
+            assert isinstance(readback, wire.Result), readback
+            assert list(readback.values) == [(1 << 62) + i for i in range(n)]
+            await client.request(wire.Bye())
+        finally:
+            await client.close()
+
+    _with_server(config, _drive)
+
+
+def test_overrun_frame_gets_a_typed_refusal_not_a_dead_socket():
+    """A frame past the server's limit must answer with a typed
+    ``bad-frame`` REFUSED before the connection closes."""
+
+    async def _drive(handle):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", handle.port
+        )
+        try:
+            huge = b'{"pad": "' + b"x" * (wire.frame_limit(16) + 1024) + b'"}\n'
+            writer.write(huge)
+            await writer.drain()
+            line = await reader.readline()
+            assert line, "server closed without answering"
+            reply = wire.decode_message(line)
+            assert isinstance(reply, wire.Refused), reply
+            assert reply.code == "bad-frame"
+        finally:
+            writer.close()
+
+    _with_server(_config(), _drive)
+
+
+# -- resumption over sockets -----------------------------------------------
+
+
+def test_reconnecting_client_replays_retained_outcomes_exactly_once():
+    async def _drive(handle):
+        port = handle.port
+        step = wire.Step(id=0, op="write", variables=(1,), values=(42,))
+        c1 = await ServeClient.connect("127.0.0.1", port, "t0", resume="tok")
+        assert c1.welcome.resumed is False
+        await c1.send(step)
+        first = await c1.recv_outcome()
+        assert isinstance(first, wire.Result)
+        await c1.close()  # drop without BYE, as a crashed client would
+
+        c2 = await ServeClient.connect("127.0.0.1", port, "t0", resume="tok")
+        assert c2.welcome.resumed is True
+        assert c2.welcome.retained == 1
+        await c2.send(step)  # idempotent resend
+        replay = await c2.recv_outcome()
+        assert replay == first  # byte-identical retained outcome
+        # The write executed once: state unchanged by the replay.
+        await c2.send(wire.Step(id=1, op="read", variables=(1,)))
+        read = await c2.recv_outcome()
+        assert list(read.values) == [42]
+        stats = await c2.request(wire.Stats())
+        assert stats.counters["serve.resumed_replays"] == 1
+        assert stats.counters["serve.sessions_resumed"] == 1
+        await c2.request(wire.Bye())
+        await c2.close()
+
+    _with_server(_config(), _drive)
+
+
+# -- multi-process serving -------------------------------------------------
+
+
+def _boot_multiproc(config, procs):
+    """Fork workers (sync, before any loop), run the parent router in a
+    thread; returns (server, port, router_thread)."""
+    server = MultiprocServer(config, procs)
+    port = server.start()
+    router = threading.Thread(
+        target=lambda: asyncio.run(server.serve()), daemon=True
+    )
+    router.start()
+    return server, port, router
+
+
+def test_multiproc_fleet_delivers_and_tenants_pin_to_workers():
+    server, port, router = _boot_multiproc(_config(window_max=8), procs=2)
+    try:
+        report = asyncio.run(
+            run_fleet_async(
+                "127.0.0.1",
+                port,
+                clients=6,
+                requests=6,
+                batch=2,
+                seed=7,
+                certify=False,  # certification is per-core under --procs
+                shutdown=True,
+            )
+        )
+        assert report.delivered == 6 * 6
+        assert report.refused == 0 and report.rejected == 0
+        # The fleet's tenants really spread over both workers (t0-t3
+        # pin to worker 1, t4/t5 to worker 0 under crc32 % 2).
+        workers = {pin_worker(f"t{i}", 2) for i in range(6)}
+        assert workers == {0, 1}
+        router.join(timeout=10.0)
+        assert not router.is_alive(), "SHUTDOWN did not stop the router"
+    finally:
+        server.stop()
+
+
+def test_multiproc_reconnect_and_resume_reaches_the_same_worker():
+    """Tenant pinning is a stable hash, so a reconnecting RESUME lands
+    on the worker holding its scope — retained outcomes replay across
+    processes exactly as single-process."""
+    server, port, router = _boot_multiproc(_config(), procs=2)
+
+    async def _drive():
+        step = wire.Step(id=0, op="write", variables=(2,), values=(9,))
+        c1 = await ServeClient.connect("127.0.0.1", port, "t0", resume="tok")
+        await c1.send(step)
+        first = await c1.recv_outcome()
+        assert isinstance(first, wire.Result)
+        await c1.close()
+
+        c2 = await ServeClient.connect("127.0.0.1", port, "t0", resume="tok")
+        assert c2.welcome.resumed is True and c2.welcome.retained == 1
+        await c2.send(step)
+        replay = await c2.recv_outcome()
+        assert replay == first
+        await c2.request(wire.Shutdown())
+        await c2.close()
+
+    try:
+        asyncio.run(_drive())
+        router.join(timeout=10.0)
+        assert not router.is_alive()
+    finally:
+        server.stop()
+
+
+def test_multiproc_refuses_garbage_opener_in_the_parent():
+    server, port, router = _boot_multiproc(_config(), procs=2)
+
+    async def _drive():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"not json\n")
+        await writer.drain()
+        reply = wire.decode_message(await reader.readline())
+        assert isinstance(reply, wire.Refused) and reply.code == "bad-json"
+        writer.close()
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(wire.encode_message(wire.Stats()))
+        await writer.drain()
+        reply = wire.decode_message(await reader.readline())
+        assert isinstance(reply, wire.Refused) and reply.code == "bad-request"
+        writer.close()
+
+    try:
+        asyncio.run(_drive())
+    finally:
+        server.shutdown()  # no wire SHUTDOWN was sent; stop the router
+        router.join(timeout=10.0)
+        server.stop()
+
+
+# -- load generator --------------------------------------------------------
+
+def test_loadgen_records_the_frontier(tmp_path):
+    out = tmp_path / "BENCH_serve_scale.json"
+    frontier = run_loadgen(
+        scheme=SMALL,
+        engine="model",
+        fleets=(2,),
+        windows=(1, 4),
+        requests=4,
+        batch=2,
+        seed=5,
+        out=str(out),
+    )
+    assert out.exists()
+    samples = frontier["samples"]
+    assert [(s["fleet"], s["window"]) for s in samples] == [(2, 1), (2, 4)]
+    for sample in samples:
+        assert sample["delivered"] == 2 * 4
+        assert sample["latency_p50"] is not None
+        assert sample["latency_p99"] >= sample["latency_p50"]
+        assert len(sample["per_tenant"]) == 2
+        for tenant in sample["per_tenant"]:
+            assert tenant["latency_p99"] is not None
+    # The wider window amortizes: fewer mesh steps per request.
+    assert (
+        samples[1]["mesh_steps_per_request"]
+        < samples[0]["mesh_steps_per_request"]
+    )
